@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSections(t *testing.T) {
+	text := `
+== fig1: Frontend stuff ==
+paper: 24-78%
+app x
+row 1
+
+== tab1: Parameters ==
+col a
+`
+	secs := parseSections(text)
+	if len(secs) != 2 {
+		t.Fatalf("parsed %d sections, want 2", len(secs))
+	}
+	if secs[0].ID != "fig1" || secs[0].Title != "Frontend stuff" {
+		t.Fatalf("section 0 header = %q / %q", secs[0].ID, secs[0].Title)
+	}
+	if secs[0].Paper != "24-78%" {
+		t.Fatalf("section 0 paper = %q", secs[0].Paper)
+	}
+	if !strings.Contains(secs[0].Body, "row 1") {
+		t.Fatalf("section 0 body lost content: %q", secs[0].Body)
+	}
+	if secs[1].ID != "tab1" || secs[1].Paper != "" {
+		t.Fatalf("section 1 = %+v", secs[1])
+	}
+}
+
+func TestParseSectionsEmpty(t *testing.T) {
+	if got := parseSections(""); len(got) != 0 {
+		t.Fatalf("empty input produced %d sections", len(got))
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.html")
+	text := "== fig9: Things <script>alert(1)</script> ==\npaper: quote \"x\"\nbody & stuff\n"
+	if err := writeHTML(path, text, 1000, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	if !strings.Contains(html, "fig9") {
+		t.Fatal("section missing from report")
+	}
+	// html/template must have escaped the hostile title.
+	if strings.Contains(html, "<script>alert(1)</script>") {
+		t.Fatal("unescaped HTML in report")
+	}
+	if !strings.Contains(html, "body &amp; stuff") {
+		t.Fatal("body not escaped/rendered")
+	}
+}

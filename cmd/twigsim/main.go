@@ -1,0 +1,116 @@
+// Command twigsim simulates one application under one frontend scheme
+// and prints the key metrics.
+//
+// Usage:
+//
+//	twigsim -app cassandra -scheme twig -input 0 -instructions 1000000
+//
+// Schemes: baseline, ideal, twig, shotgun, confluence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twig"
+	"twig/internal/workload"
+)
+
+func main() {
+	var (
+		app          = flag.String("app", "cassandra", "application (see -list)")
+		scheme       = flag.String("scheme", "baseline", "baseline|ideal|twig|shotgun|confluence")
+		input        = flag.Int("input", 0, "input configuration number (0-3)")
+		train        = flag.Int("train", 0, "Twig training input number")
+		instructions = flag.Int64("instructions", 1_000_000, "simulation window")
+		btbEntries   = flag.Int("btb", 0, "BTB entries (0 = paper default 8192)")
+		list         = flag.Bool("list", false, "list applications and exit")
+		describe     = flag.Bool("describe", false, "print the app's workload statistics and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range twig.Apps() {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	if *describe {
+		params, err := workload.ParamsFor(workload.App(*app))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+		p, err := workload.Build(params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+		stats, err := workload.DynamicStats(p, params.Input(*input), *instructions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (input #%d)\n%s", *app, *input, stats)
+		return
+	}
+
+	cfg := twig.DefaultConfig()
+	cfg.Instructions = *instructions
+	cfg.BTBEntries = *btbEntries
+
+	sys, err := twig.NewSystemTrained(twig.App(*app), *train, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twigsim:", err)
+		os.Exit(1)
+	}
+
+	var res twig.Result
+	switch *scheme {
+	case "baseline":
+		res, err = sys.Baseline(*input)
+	case "ideal":
+		res, err = sys.IdealBTB(*input)
+	case "twig":
+		res, err = sys.Twig(*input)
+	case "shotgun":
+		res, err = sys.Shotgun(*input)
+	case "confluence":
+		res, err = sys.Confluence(*input)
+	default:
+		fmt.Fprintf(os.Stderr, "twigsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twigsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app                %s\n", *app)
+	fmt.Printf("scheme             %s\n", *scheme)
+	fmt.Printf("input              #%d\n", *input)
+	fmt.Printf("instructions       %d\n", res.Instructions)
+	fmt.Printf("cycles             %.0f\n", res.Cycles)
+	fmt.Printf("IPC                %.3f\n", res.IPC)
+	fmt.Printf("BTB MPKI           %.2f\n", res.BTBMPKI)
+	fmt.Printf("frontend-bound     %.1f%%\n", res.FrontendBoundFrac*100)
+	fmt.Printf("I-cache MPKI       %.2f\n", res.ICacheMPKI)
+	if res.PrefetchIssued > 0 {
+		fmt.Printf("prefetch issued    %d\n", res.PrefetchIssued)
+		fmt.Printf("prefetch used      %d\n", res.PrefetchUsed)
+		fmt.Printf("prefetch accuracy  %.1f%%\n", res.PrefetchAccuracy*100)
+	}
+	if res.DynamicOverhead > 0 {
+		fmt.Printf("dynamic overhead   %.2f%%\n", res.DynamicOverhead*100)
+	}
+
+	if *scheme != "baseline" {
+		base, err := sys.Baseline(*input)
+		if err == nil {
+			fmt.Printf("speedup vs FDIP    %+.2f%%\n", twig.Speedup(base, res))
+			fmt.Printf("miss coverage      %.1f%%\n", twig.Coverage(base, res))
+		}
+	}
+}

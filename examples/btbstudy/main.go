@@ -1,0 +1,42 @@
+// BTB study: the paper's §2 characterization workflow on your own
+// workload — why does the BTB miss, and could hardware prefetching fix
+// it? For each application it reports the 3C classification (Fig. 4)
+// and the temporal-stream breakdown (Fig. 10); the "recurring" share is
+// the ceiling for record-and-replay prefetchers like Confluence and
+// Shotgun, which is the paper's motivation for going profile-guided.
+//
+//	go run ./examples/btbstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twig"
+)
+
+func main() {
+	cfg := twig.DefaultConfig()
+	cfg.Instructions = 400_000
+
+	fmt.Printf("%-16s %6s | %10s %8s %8s | %9s %6s %9s\n",
+		"app", "MPKI", "compulsory", "capacity", "conflict", "recurring", "new", "non-rep")
+	for _, app := range []twig.App{twig.Cassandra, twig.Kafka, twig.Verilator, twig.WordPress} {
+		sys, err := twig.NewSystem(app, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch, err := sys.Characterize(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %6.1f | %9.0f%% %7.0f%% %7.0f%% | %8.0f%% %5.0f%% %8.0f%%\n",
+			app, ch.BTBMPKI,
+			ch.CompulsoryFrac*100, ch.CapacityFrac*100, ch.ConflictFrac*100,
+			ch.RecurringFrac*100, ch.NewFrac*100, ch.NonRepetitiveFrac*100)
+	}
+
+	fmt.Println("\nOnly the recurring share is reachable by record-and-replay hardware")
+	fmt.Println("(Confluence, Shotgun); Twig's profile-guided injection also covers the")
+	fmt.Println("'new' share, which is why its coverage is higher (paper Figs. 10, 17).")
+}

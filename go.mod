@@ -1,0 +1,3 @@
+module twig
+
+go 1.22

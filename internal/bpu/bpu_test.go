@@ -1,0 +1,126 @@
+package bpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectionPredictorDeterminism(t *testing.T) {
+	d1 := NewDirectionPredictor(0.01)
+	d2 := NewDirectionPredictor(0.01)
+	for i := 0; i < 1000; i++ {
+		pc := uint64(0x400000 + i*3)
+		if d1.Mispredicted(pc) != d2.Mispredicted(pc) {
+			t.Fatalf("mispredict sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestDirectionPredictorRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.005, 0.05, 0.5} {
+		d := NewDirectionPredictor(rate)
+		n := 200000
+		mis := 0
+		for i := 0; i < n; i++ {
+			if d.Mispredicted(uint64(0x400000 + i*7)) {
+				mis++
+			}
+		}
+		got := float64(mis) / float64(n)
+		if math.Abs(got-rate) > 0.005+rate*0.1 {
+			t.Fatalf("rate %f: observed %f", rate, got)
+		}
+	}
+}
+
+func TestDirectionPredictorClamps(t *testing.T) {
+	d := NewDirectionPredictor(-1)
+	for i := 0; i < 100; i++ {
+		if d.Mispredicted(uint64(i)) {
+			t.Fatal("rate<0 should never mispredict")
+		}
+	}
+}
+
+func TestRASMatchedCallsReturns(t *testing.T) {
+	r := NewRAS(32)
+	// Nested calls followed by matching returns.
+	addrs := []uint64{100, 200, 300, 400}
+	for _, a := range addrs {
+		r.Push(a)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		if !r.PredictReturn(addrs[i]) {
+			t.Fatalf("return to %d mispredicted", addrs[i])
+		}
+	}
+	if r.Mispredicts != 0 || r.Returns != 4 {
+		t.Fatalf("counters: mis=%d returns=%d", r.Mispredicts, r.Returns)
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	r := NewRAS(4)
+	if r.PredictReturn(100) {
+		t.Fatal("empty stack predicted correctly?")
+	}
+	if r.Mispredicts != 1 {
+		t.Fatal("underflow not counted as mispredict")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if !r.PredictReturn(3) || !r.PredictReturn(2) {
+		t.Fatal("top two entries should predict correctly")
+	}
+	// The third pop hits the overwritten slot: mispredict.
+	if r.PredictReturn(1) {
+		t.Fatal("overwritten entry predicted correctly")
+	}
+}
+
+func TestIBTBPredictLearnRelearn(t *testing.T) {
+	ib := NewIBTB(16, 4)
+	// First sight: miss.
+	if ib.Predict(0x500, 0x900) {
+		t.Fatal("cold indirect predicted correctly")
+	}
+	// Stable target: hit.
+	if !ib.Predict(0x500, 0x900) {
+		t.Fatal("stable target mispredicted")
+	}
+	// Target change: mispredict once, then learn.
+	if ib.Predict(0x500, 0xA00) {
+		t.Fatal("changed target predicted correctly")
+	}
+	if !ib.Predict(0x500, 0xA00) {
+		t.Fatal("new target not learned")
+	}
+	if ib.Lookups != 4 || ib.Mispredicts != 2 {
+		t.Fatalf("counters: lookups=%d mis=%d", ib.Lookups, ib.Mispredicts)
+	}
+}
+
+func TestIBTBEviction(t *testing.T) {
+	ib := NewIBTB(4, 2) // 2 sets x 2 ways
+	// Fill set 0 (even PCs) past capacity.
+	ib.Predict(0, 1)
+	ib.Predict(2, 1)
+	ib.Predict(4, 1) // evicts LRU (pc 0)
+	if ib.Predict(0, 1) {
+		t.Fatal("evicted entry predicted correctly")
+	}
+}
+
+func TestIBTBGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid IBTB geometry accepted")
+		}
+	}()
+	NewIBTB(12, 4) // 3 sets: not a power of two
+}

@@ -1,0 +1,277 @@
+// TAGE — a structural implementation of the TAgged GEometric-history
+// direction predictor (Seznec), the class of predictor the paper's
+// Table 1 configures (64KB TAGE-SC-L). The default statistical proxy
+// (DirectionPredictor) models only the *rate* of mispredicts; this
+// model predicts from actual branch history, so pathologically
+// history-dependent workloads behave correctly. The simulator can use
+// either (pipeline.Config.UseTAGE); the ablation-tage experiment
+// compares them.
+//
+// Structure: a bimodal base table plus NumTables tagged components with
+// geometrically increasing history lengths. Prediction comes from the
+// longest-history component whose tag matches; allocation on a
+// mispredict claims an entry in a longer component; usefulness counters
+// arbitrate replacement, with periodic aging.
+package bpu
+
+// TAGEConfig sizes the predictor.
+type TAGEConfig struct {
+	// BaseBits is log2 of the bimodal table size.
+	BaseBits int
+	// TableBits is log2 of each tagged table's entry count.
+	TableBits int
+	// TagBits is the partial tag width.
+	TagBits int
+	// HistLens are the geometric history lengths, shortest first.
+	HistLens []int
+	// UsefulResetPeriod ages usefulness counters every this many
+	// updates.
+	UsefulResetPeriod int64
+}
+
+// DefaultTAGEConfig approximates a 64KB TAGE: a 16K-entry bimodal base
+// (4KB) plus six 4K-entry tagged tables with 12-bit tags and 3-bit
+// counters (~8KB each, ~52KB total) over history lengths 5..130.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BaseBits:          14,
+		TableBits:         12,
+		TagBits:           12,
+		HistLens:          []int{5, 11, 21, 38, 70, 130},
+		UsefulResetPeriod: 256 * 1024,
+	}
+}
+
+// foldedHistory incrementally maintains history folded down to a fixed
+// width, the standard O(1) TAGE indexing trick.
+type foldedHistory struct {
+	comp     uint32
+	compLen  int // folded width in bits
+	origLen  int // history length folded from
+	outPoint int // origLen % compLen
+}
+
+func newFolded(origLen, compLen int) foldedHistory {
+	return foldedHistory{compLen: compLen, origLen: origLen, outPoint: origLen % compLen}
+}
+
+// update shifts in the newest history bit and removes the bit that
+// falls off the end of the history window.
+func (f *foldedHistory) update(newBit, evictedBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= evictedBit << uint(f.outPoint)
+	f.comp ^= f.comp >> uint(f.compLen)
+	f.comp &= (1 << uint(f.compLen)) - 1
+}
+
+type tageEntry struct {
+	tag uint16
+	ctr int8  // 3-bit signed counter, -4..3; >= 0 predicts taken
+	u   uint8 // 2-bit usefulness
+}
+
+// TAGE is the predictor state.
+type TAGE struct {
+	cfg  TAGEConfig
+	base []int8 // 2-bit counters, -2..1; >= 0 predicts taken
+
+	tables  [][]tageEntry
+	idxFold []foldedHistory
+	tagFold [2][]foldedHistory // two differently-folded tag hashes
+
+	// history ring holds the outcome bits so folded registers can evict
+	// the exact bit leaving each window.
+	hist    []uint8
+	histPos int
+
+	updates int64
+
+	// Lookups and Mispredicts mirror the statistical predictor's
+	// accounting.
+	Lookups, Mispredicts int64
+}
+
+// NewTAGE builds the predictor.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	maxHist := cfg.HistLens[len(cfg.HistLens)-1]
+	t := &TAGE{
+		cfg:  cfg,
+		base: make([]int8, 1<<uint(cfg.BaseBits)),
+		hist: make([]uint8, maxHist+1),
+	}
+	for _, hl := range cfg.HistLens {
+		t.tables = append(t.tables, make([]tageEntry, 1<<uint(cfg.TableBits)))
+		t.idxFold = append(t.idxFold, newFolded(hl, cfg.TableBits))
+		t.tagFold[0] = append(t.tagFold[0], newFolded(hl, cfg.TagBits))
+		t.tagFold[1] = append(t.tagFold[1], newFolded(hl, cfg.TagBits-1))
+	}
+	return t
+}
+
+func (t *TAGE) index(pc uint64, table int) int {
+	h := uint32(pc>>2) ^ uint32(pc>>(uint(t.cfg.TableBits)+2)) ^ t.idxFold[table].comp
+	return int(h & uint32(len(t.tables[table])-1))
+}
+
+func (t *TAGE) tag(pc uint64, table int) uint16 {
+	h := uint32(pc>>2) ^ t.tagFold[0][table].comp ^ (t.tagFold[1][table].comp << 1)
+	return uint16(h & ((1 << uint(t.cfg.TagBits)) - 1))
+}
+
+func (t *TAGE) baseIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(len(t.base)-1))
+}
+
+// PredictAndUpdate predicts the branch at pc, updates all state with
+// the actual outcome, and reports whether the prediction was correct.
+func (t *TAGE) PredictAndUpdate(pc uint64, taken bool) bool {
+	t.Lookups++
+
+	// Find provider (longest matching) and alternate (next longest).
+	provider, alt := -1, -1
+	var provIdx, altIdx int
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		if t.tables[i][idx].tag == t.tag(pc, i) {
+			if provider < 0 {
+				provider, provIdx = i, idx
+			} else {
+				alt, altIdx = i, idx
+				break
+			}
+		}
+	}
+
+	basePred := t.base[t.baseIndex(pc)] >= 0
+	altPred := basePred
+	if alt >= 0 {
+		altPred = t.tables[alt][altIdx].ctr >= 0
+	}
+	pred := altPred
+	if provider >= 0 {
+		pred = t.tables[provider][provIdx].ctr >= 0
+	}
+
+	correct := pred == taken
+	if !correct {
+		t.Mispredicts++
+	}
+
+	// --- Update ---------------------------------------------------------
+	if provider >= 0 {
+		e := &t.tables[provider][provIdx]
+		e.ctr = satUpdate3(e.ctr, taken)
+		// Usefulness tracks provider-beats-alternate.
+		if (e.ctr >= 0) != altPred {
+			if (e.ctr >= 0) == taken && e.u < 3 {
+				e.u++
+			} else if (e.ctr >= 0) != taken && e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		bi := t.baseIndex(pc)
+		t.base[bi] = satUpdate2(t.base[bi], taken)
+	}
+
+	// Allocate a longer-history entry on a mispredict.
+	if !correct && provider < len(t.tables)-1 {
+		start := provider + 1
+		allocated := false
+		for i := start; i < len(t.tables); i++ {
+			idx := t.index(pc, i)
+			if t.tables[i][idx].u == 0 {
+				t.tables[i][idx] = tageEntry{tag: t.tag(pc, i), ctr: ctrInit(taken)}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness along the allocation path so future
+			// allocations succeed (TAGE's anti-ping-pong rule).
+			for i := start; i < len(t.tables); i++ {
+				idx := t.index(pc, i)
+				if t.tables[i][idx].u > 0 {
+					t.tables[i][idx].u--
+				}
+			}
+		}
+	}
+
+	// Periodic aging of usefulness counters.
+	t.updates++
+	if t.cfg.UsefulResetPeriod > 0 && t.updates%t.cfg.UsefulResetPeriod == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].u >>= 1
+			}
+		}
+	}
+
+	t.pushHistory(taken)
+	return correct
+}
+
+// pushHistory shifts the outcome into the global history and updates
+// every folded register with the exact evicted bits.
+func (t *TAGE) pushHistory(taken bool) {
+	nb := uint32(0)
+	if taken {
+		nb = 1
+	}
+	// hist ring: hist[histPos] is the newest bit after writing.
+	t.histPos = (t.histPos + 1) % len(t.hist)
+	evictAt := func(n int) uint32 {
+		// The bit that leaves an n-bit window when a new bit enters.
+		pos := (t.histPos - n + len(t.hist)) % len(t.hist)
+		return uint32(t.hist[pos])
+	}
+	t.hist[t.histPos] = uint8(nb)
+	for i, hl := range t.cfg.HistLens {
+		ev := evictAt(hl)
+		t.idxFold[i].update(nb, ev)
+		t.tagFold[0][i].update(nb, ev)
+		t.tagFold[1][i].update(nb, ev)
+	}
+}
+
+// MispredictRate returns the observed mispredict fraction.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}
+
+func satUpdate3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+func satUpdate2(c int8, taken bool) int8 {
+	if taken {
+		if c < 1 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -2 {
+		return c - 1
+	}
+	return c
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,134 @@
+package bpu
+
+import (
+	"testing"
+
+	"twig/internal/rng"
+)
+
+func TestTAGELearnsStaticBias(t *testing.T) {
+	// An always-taken branch must become near-perfectly predicted.
+	tg := NewTAGE(DefaultTAGEConfig())
+	wrong := 0
+	for i := 0; i < 10000; i++ {
+		if !tg.PredictAndUpdate(0x400100, true) {
+			wrong++
+		}
+	}
+	if wrong > 5 {
+		t.Fatalf("always-taken branch mispredicted %d/10000 times", wrong)
+	}
+}
+
+func TestTAGELearnsPattern(t *testing.T) {
+	// A strict TNTN alternation is history-predictable: TAGE must learn
+	// it (the statistical proxy cannot).
+	tg := NewTAGE(DefaultTAGEConfig())
+	wrong := 0
+	for i := 0; i < 20000; i++ {
+		taken := i%2 == 0
+		if !tg.PredictAndUpdate(0x400200, taken) {
+			if i > 2000 { // after warmup
+				wrong++
+			}
+		}
+	}
+	if rate := float64(wrong) / 18000; rate > 0.02 {
+		t.Fatalf("alternating pattern mispredict rate %.3f after warmup", rate)
+	}
+}
+
+func TestTAGELearnsLongPattern(t *testing.T) {
+	// A period-7 pattern needs real history correlation.
+	pattern := []bool{true, true, false, true, false, false, true}
+	tg := NewTAGE(DefaultTAGEConfig())
+	wrong := 0
+	n := 40000
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		if !tg.PredictAndUpdate(0x400300, taken) && i > n/2 {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / float64(n/2); rate > 0.05 {
+		t.Fatalf("period-7 pattern mispredict rate %.3f after warmup", rate)
+	}
+}
+
+func TestTAGERandomIsHard(t *testing.T) {
+	// Unpredictable outcomes must mispredict near 50%: no cheating.
+	tg := NewTAGE(DefaultTAGEConfig())
+	r := rng.New(1)
+	wrong := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if !tg.PredictAndUpdate(0x400400, r.Bool(0.5)) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(n)
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random stream mispredict rate %.3f, want ~0.5", rate)
+	}
+}
+
+func TestTAGEManyBranches(t *testing.T) {
+	// Thousands of independent biased branches: aggregate accuracy must
+	// be high (aliasing bounded by the tagged tables).
+	tg := NewTAGE(DefaultTAGEConfig())
+	r := rng.New(2)
+	wrong, total := 0, 0
+	for round := 0; round < 50; round++ {
+		for b := 0; b < 2000; b++ {
+			pc := uint64(0x400000 + b*12)
+			taken := (b%10 != 0) // 90% of branches always-taken, rest always-not
+			_ = r
+			total++
+			if !tg.PredictAndUpdate(pc, taken) {
+				wrong++
+			}
+		}
+	}
+	if rate := float64(wrong) / float64(total); rate > 0.05 {
+		t.Fatalf("biased multi-branch mispredict rate %.3f", rate)
+	}
+}
+
+func TestTAGEDeterminism(t *testing.T) {
+	mk := func() []bool {
+		tg := NewTAGE(DefaultTAGEConfig())
+		r := rng.New(3)
+		out := make([]bool, 5000)
+		for i := range out {
+			out[i] = tg.PredictAndUpdate(uint64(0x400000+(i%97)*8), r.Bool(0.7))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TAGE nondeterministic at step %d", i)
+		}
+	}
+}
+
+func TestFoldedHistoryWindow(t *testing.T) {
+	// After pushing a full window of zeros over any prior content, the
+	// folded register must be zero again (exact eviction).
+	tg := NewTAGE(DefaultTAGEConfig())
+	for i := 0; i < 500; i++ {
+		tg.pushHistory(i%3 == 0)
+	}
+	maxHist := tg.cfg.HistLens[len(tg.cfg.HistLens)-1]
+	for i := 0; i < maxHist+1; i++ {
+		tg.pushHistory(false)
+	}
+	for i := range tg.idxFold {
+		if tg.idxFold[i].comp != 0 {
+			t.Fatalf("folded index register %d nonzero after all-zero window", i)
+		}
+		if tg.tagFold[0][i].comp != 0 || tg.tagFold[1][i].comp != 0 {
+			t.Fatalf("folded tag register %d nonzero after all-zero window", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twig/internal/isa"
+)
+
+func TestConfigGeometry(t *testing.T) {
+	c := DefaultConfig()
+	if c.Sets() != 2048 {
+		t.Fatalf("default sets %d, want 2048", c.Sets())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Entries: 5120, Ways: 4}).Validate(); err == nil {
+		t.Fatal("non-power-of-two set count accepted")
+	}
+	// The paper quotes the 8K-entry BTB at 75KB; the storage estimate
+	// must land in that neighbourhood.
+	kb := DefaultConfig().StorageBytes() >> 10
+	if kb < 65 || kb > 85 {
+		t.Fatalf("storage estimate %dKB, want ~75KB", kb)
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	b := New(Config{Entries: 16, Ways: 2})
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("hit in empty BTB")
+	}
+	b.Insert(0x1000, 0x2000, isa.KindJump)
+	tgt, hit := b.Lookup(0x1000)
+	if !hit || tgt != 0x2000 {
+		t.Fatalf("lookup = (%#x,%v), want (0x2000,true)", tgt, hit)
+	}
+	// Update in place.
+	b.Insert(0x1000, 0x3000, isa.KindJump)
+	if tgt, _ := b.Lookup(0x1000); tgt != 0x3000 {
+		t.Fatal("in-place update failed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways; PCs 0,2,4,... map to set 0 (pc & 1).
+	b := New(Config{Entries: 4, Ways: 2})
+	b.Insert(0, 1, isa.KindJump)
+	b.Insert(2, 1, isa.KindJump)
+	b.Lookup(0)                  // 0 most recent
+	b.Insert(4, 1, isa.KindJump) // evicts 2
+	if !b.Probe(0) || b.Probe(2) || !b.Probe(4) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+}
+
+// TestBTBMatchesReferenceModel cross-checks against a naive LRU model.
+func TestBTBMatchesReferenceModel(t *testing.T) {
+	cfg := Config{Entries: 16, Ways: 4} // 4 sets
+	check := func(seed uint64) bool {
+		b := New(cfg)
+		ref := make([][]uint64, cfg.Sets()) // most recent last
+		x := seed | 1
+		for step := 0; step < 3000; step++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			pc := x % 128
+			si := int(pc) % cfg.Sets()
+			refHit := false
+			for i, e := range ref[si] {
+				if e == pc {
+					refHit = true
+					ref[si] = append(append(ref[si][:i:i], ref[si][i+1:]...), pc)
+					break
+				}
+			}
+			_, hit := b.Lookup(pc)
+			if hit != refHit {
+				return false
+			}
+			if !refHit {
+				if len(ref[si]) == cfg.Ways {
+					ref[si] = ref[si][1:]
+				}
+				ref[si] = append(ref[si], pc)
+				b.Insert(pc, pc+1, isa.KindCondBranch)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	s.Accesses[isa.KindCondBranch] = 10
+	s.Accesses[isa.KindJump] = 5
+	s.Accesses[isa.KindCall] = 3
+	s.Accesses[isa.KindReturn] = 2
+	s.Misses[isa.KindCondBranch] = 4
+	s.Misses[isa.KindReturn] = 1
+	if s.DirectAccesses() != 18 {
+		t.Fatalf("DirectAccesses = %d, want 18", s.DirectAccesses())
+	}
+	if s.DirectMisses() != 4 {
+		t.Fatalf("DirectMisses = %d, want 4 (returns excluded)", s.DirectMisses())
+	}
+	if s.TotalAccesses() != 20 || s.TotalMisses() != 5 {
+		t.Fatal("totals wrong")
+	}
+}
+
+func TestReplacementPolicies(t *testing.T) {
+	// FIFO: touching an entry must not save it from eviction.
+	fifo := New(Config{Entries: 4, Ways: 2, Replacement: ReplaceFIFO})
+	fifo.Insert(0, 1, isa.KindJump) // set 0
+	fifo.Insert(2, 1, isa.KindJump) // set 0
+	fifo.Lookup(0)                  // would refresh under LRU
+	fifo.Insert(4, 1, isa.KindJump) // evicts 0 (oldest insertion) despite the touch
+	if fifo.Probe(0) {
+		t.Fatal("FIFO kept a touched entry alive")
+	}
+	if !fifo.Probe(2) || !fifo.Probe(4) {
+		t.Fatal("FIFO evicted the wrong entry")
+	}
+
+	// Random: deterministic across identical runs.
+	mk := func() []bool {
+		r := New(Config{Entries: 4, Ways: 2, Replacement: ReplaceRandom})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			pc := uint64(i*2) % 32
+			_, hit := r.Lookup(pc)
+			out = append(out, hit)
+			if !hit {
+				r.Insert(pc, pc, isa.KindJump)
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("random replacement nondeterministic at step %d", i)
+		}
+	}
+
+	// All policies must accept the same geometry and stay within
+	// capacity (no phantom entries).
+	for _, pol := range []Replacement{ReplaceLRU, ReplaceFIFO, ReplaceRandom} {
+		bt := New(Config{Entries: 8, Ways: 4, Replacement: pol})
+		for i := 0; i < 100; i++ {
+			bt.Insert(uint64(i), uint64(i), isa.KindCondBranch)
+		}
+		live := 0
+		for i := 0; i < 100; i++ {
+			if bt.Probe(uint64(i)) {
+				live++
+			}
+		}
+		if live > 8 {
+			t.Fatalf("%v: %d live entries exceed capacity", pol, live)
+		}
+	}
+}
+
+func TestReplacementString(t *testing.T) {
+	if ReplaceLRU.String() != "lru" || ReplaceFIFO.String() != "fifo" || ReplaceRandom.String() != "random" {
+		t.Fatal("replacement names wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package btb
+
+import "twig/internal/isa"
+
+// PrefetchBuffer holds BTB entries brought in by prefetch instructions
+// until their first demand lookup, so prefetches neither pollute the
+// BTB nor evict each other's demand-resident entries. The paper sweeps
+// its size in Fig. 25 (8-256 entries; 128 is the knee).
+//
+// Entries become visible at a readiness time (the prefetch instruction
+// executes, then takes a few cycles — or an L2-latency table load for
+// brcoalesce — to produce the entry). A demand lookup before readiness
+// is a "late" prefetch: the frontend still resteers, but only for the
+// remaining cycles.
+//
+// Replacement is FIFO, matching simple hardware.
+type PrefetchBuffer struct {
+	capacity int
+	index    map[uint64]int32
+	entries  []bufEntry
+	fifo     []int32 // ring of slot indexes in insertion order
+	fifoHead int
+	fifoLen  int
+
+	// Issued counts entries inserted; Used counts entries consumed by a
+	// demand lookup (on time or late); Late counts the subset that were
+	// not yet ready; Evicted counts entries replaced unused. Prefetch
+	// accuracy (Fig. 19) is Used/Issued.
+	Issued, Used, Late, Evicted int64
+}
+
+type bufEntry struct {
+	pc     uint64
+	target uint64
+	ready  float64
+	kind   isa.Kind
+	valid  bool
+}
+
+// NewPrefetchBuffer returns a buffer of the given capacity; capacity 0
+// disables the buffer (every Insert is immediately discarded).
+func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
+	return &PrefetchBuffer{
+		capacity: capacity,
+		index:    make(map[uint64]int32, capacity*2),
+		entries:  make([]bufEntry, capacity),
+		fifo:     make([]int32, capacity),
+	}
+}
+
+// Len returns the number of live entries.
+func (p *PrefetchBuffer) Len() int { return len(p.index) }
+
+// Insert stages the entry (pc → target) to become ready at the given
+// cycle. A duplicate pc refreshes the payload but keeps the earlier
+// readiness if sooner. Insertion counts against Issued.
+func (p *PrefetchBuffer) Insert(pc, target uint64, kind isa.Kind, ready float64) {
+	p.Issued++
+	if p.capacity == 0 {
+		p.Evicted++
+		return
+	}
+	if i, ok := p.index[pc]; ok {
+		e := &p.entries[i]
+		e.target = target
+		e.kind = kind
+		if ready < e.ready {
+			e.ready = ready
+		}
+		return
+	}
+	var slot int32
+	if p.fifoLen == p.capacity {
+		slot = p.fifo[p.fifoHead]
+		p.fifoHead = (p.fifoHead + 1) % p.capacity
+		p.fifoLen--
+		old := &p.entries[slot]
+		if old.valid {
+			delete(p.index, old.pc)
+			p.Evicted++
+		}
+	} else {
+		// Find a free slot: with FIFO of equal capacity, slot reuse is
+		// cyclic, so the tail position is free.
+		slot = int32((p.fifoHead + p.fifoLen) % p.capacity)
+		if p.entries[slot].valid {
+			// Defensive: should not happen; treat as eviction.
+			delete(p.index, p.entries[slot].pc)
+			p.Evicted++
+		}
+	}
+	p.entries[slot] = bufEntry{pc: pc, target: target, ready: ready, kind: kind, valid: true}
+	p.index[pc] = slot
+	p.fifo[(p.fifoHead+p.fifoLen)%p.capacity] = slot
+	p.fifoLen++
+}
+
+// Lookup consumes the entry for pc if present. It returns the entry,
+// whether it was found, and how many cycles of readiness remained
+// (lateBy > 0 means the prefetch had not completed; the caller charges
+// that residual as a reduced resteer).
+func (p *PrefetchBuffer) Lookup(pc uint64, cycle float64) (e Entry, ok bool, lateBy float64) {
+	i, found := p.index[pc]
+	if !found {
+		return Entry{}, false, 0
+	}
+	be := &p.entries[i]
+	delete(p.index, pc)
+	be.valid = false
+	p.Used++
+	if be.ready > cycle {
+		lateBy = be.ready - cycle
+		p.Late++
+	}
+	return Entry{PC: be.pc, Target: be.target, Kind: be.kind}, true, lateBy
+}
+
+// Contains reports presence without consuming.
+func (p *PrefetchBuffer) Contains(pc uint64) bool {
+	_, ok := p.index[pc]
+	return ok
+}

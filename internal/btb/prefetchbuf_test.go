@@ -1,0 +1,99 @@
+package btb
+
+import (
+	"testing"
+
+	"twig/internal/isa"
+)
+
+func TestPrefetchBufferBasics(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0x200, isa.KindJump, 10)
+	if b.Len() != 1 || !b.Contains(0x100) {
+		t.Fatal("insert not visible")
+	}
+	e, ok, late := b.Lookup(0x100, 20)
+	if !ok || e.Target != 0x200 || late != 0 {
+		t.Fatalf("lookup = (%+v, %v, %f)", e, ok, late)
+	}
+	// Consumed: second lookup misses.
+	if _, ok, _ := b.Lookup(0x100, 21); ok {
+		t.Fatal("entry not consumed by lookup")
+	}
+	if b.Issued != 1 || b.Used != 1 || b.Late != 0 {
+		t.Fatalf("counters: issued=%d used=%d late=%d", b.Issued, b.Used, b.Late)
+	}
+}
+
+func TestPrefetchBufferLate(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0x200, isa.KindJump, 50)
+	_, ok, late := b.Lookup(0x100, 30)
+	if !ok || late != 20 {
+		t.Fatalf("late lookup = (%v, %f), want (true, 20)", ok, late)
+	}
+	if b.Late != 1 {
+		t.Fatal("late counter not bumped")
+	}
+}
+
+func TestPrefetchBufferFIFOEviction(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(1, 10, isa.KindJump, 0)
+	b.Insert(2, 20, isa.KindJump, 0)
+	b.Insert(3, 30, isa.KindJump, 0) // evicts 1 (oldest)
+	if b.Contains(1) {
+		t.Fatal("oldest entry survived FIFO eviction")
+	}
+	if !b.Contains(2) || !b.Contains(3) {
+		t.Fatal("younger entries evicted")
+	}
+	if b.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", b.Evicted)
+	}
+}
+
+func TestPrefetchBufferDuplicateRefresh(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(1, 10, isa.KindJump, 100)
+	b.Insert(1, 11, isa.KindJump, 50) // earlier readiness wins, payload updates
+	if b.Len() != 1 {
+		t.Fatal("duplicate insert created a second entry")
+	}
+	e, ok, late := b.Lookup(1, 60)
+	if !ok || e.Target != 11 || late != 0 {
+		t.Fatalf("after refresh: (%+v, %v, %f)", e, ok, late)
+	}
+	if b.Issued != 2 {
+		t.Fatalf("issued = %d, want 2 (both inserts count)", b.Issued)
+	}
+}
+
+func TestPrefetchBufferZeroCapacity(t *testing.T) {
+	b := NewPrefetchBuffer(0)
+	b.Insert(1, 10, isa.KindJump, 0)
+	if b.Contains(1) {
+		t.Fatal("zero-capacity buffer stored an entry")
+	}
+	if b.Issued != 1 || b.Evicted != 1 {
+		t.Fatal("zero-capacity accounting wrong")
+	}
+}
+
+func TestPrefetchBufferChurn(t *testing.T) {
+	// Many inserts and consumes interleaved: the invariant Len() ==
+	// len(index) must hold and lookups must never return stale entries.
+	b := NewPrefetchBuffer(8)
+	for i := 0; i < 1000; i++ {
+		pc := uint64(i % 16)
+		b.Insert(pc, pc*2, isa.KindCondBranch, float64(i))
+		if i%3 == 0 {
+			if e, ok, _ := b.Lookup(pc, float64(i)); ok && e.PC != pc {
+				t.Fatal("lookup returned wrong entry")
+			}
+		}
+	}
+	if b.Used+b.Evicted > b.Issued {
+		t.Fatalf("accounting: used %d + evicted %d > issued %d", b.Used, b.Evicted, b.Issued)
+	}
+}

@@ -1,0 +1,130 @@
+package btb
+
+// ThreeC classifies BTB misses into compulsory, capacity, and conflict
+// misses using Hill & Smith's 3C model (the classification the paper's
+// Fig. 4 reports):
+//
+//   - compulsory: first-ever access to the branch PC;
+//   - conflict:   the access misses the real set-associative BTB but
+//     would have hit a fully-associative LRU BTB of equal capacity;
+//   - capacity:   the access misses both.
+//
+// The fully-associative shadow is an exact LRU over branch PCs
+// implemented as an intrusive doubly-linked list over a slab, with a
+// map for tag lookup; O(1) per access.
+type ThreeC struct {
+	capacity int
+	index    map[uint64]int32
+	pcs      []uint64
+	prev     []int32
+	next     []int32
+	head     int32 // most recent
+	tail     int32 // least recent
+	used     int
+
+	seen map[uint64]struct{}
+
+	// Compulsory, Capacity and Conflict count classified misses.
+	Compulsory, Capacity, Conflict int64
+}
+
+// NewThreeC returns a classifier whose fully-associative shadow holds
+// capacity entries (use the real BTB's entry count).
+func NewThreeC(capacity int) *ThreeC {
+	return &ThreeC{
+		capacity: capacity,
+		index:    make(map[uint64]int32, capacity*2),
+		pcs:      make([]uint64, 0, capacity),
+		prev:     make([]int32, 0, capacity),
+		next:     make([]int32, 0, capacity),
+		head:     -1,
+		tail:     -1,
+		seen:     make(map[uint64]struct{}, capacity*4),
+	}
+}
+
+// Record observes one demand BTB access and, if the real BTB missed,
+// classifies the miss. It must be called for every access (hits too)
+// so the shadow's recency state matches an equal-capacity
+// fully-associative BTB observing the same reference stream.
+func (t *ThreeC) Record(pc uint64, realMiss bool) {
+	_, everSeen := t.seen[pc]
+	faHit := t.touch(pc)
+	if realMiss {
+		switch {
+		case !everSeen:
+			t.Compulsory++
+		case faHit:
+			t.Conflict++
+		default:
+			t.Capacity++
+		}
+	}
+	if !everSeen {
+		t.seen[pc] = struct{}{}
+	}
+}
+
+// Total returns the number of classified misses.
+func (t *ThreeC) Total() int64 { return t.Compulsory + t.Capacity + t.Conflict }
+
+// touch performs a fully-associative LRU access: returns whether pc was
+// present, and makes it most-recent (inserting, evicting LRU if full).
+func (t *ThreeC) touch(pc uint64) bool {
+	if i, ok := t.index[pc]; ok {
+		t.moveToFront(i)
+		return true
+	}
+	var i int32
+	if t.used < t.capacity {
+		i = int32(len(t.pcs))
+		t.pcs = append(t.pcs, pc)
+		t.prev = append(t.prev, -1)
+		t.next = append(t.next, -1)
+		t.used++
+	} else {
+		// Evict LRU (tail).
+		i = t.tail
+		delete(t.index, t.pcs[i])
+		t.unlink(i)
+		t.pcs[i] = pc
+	}
+	t.index[pc] = i
+	t.pushFront(i)
+	return false
+}
+
+func (t *ThreeC) unlink(i int32) {
+	p, n := t.prev[i], t.next[i]
+	if p >= 0 {
+		t.next[p] = n
+	} else if t.head == i {
+		t.head = n
+	}
+	if n >= 0 {
+		t.prev[n] = p
+	} else if t.tail == i {
+		t.tail = p
+	}
+	t.prev[i], t.next[i] = -1, -1
+}
+
+func (t *ThreeC) pushFront(i int32) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = i
+	}
+	t.head = i
+	if t.tail < 0 {
+		t.tail = i
+	}
+}
+
+func (t *ThreeC) moveToFront(i int32) {
+	if t.head == i {
+		return
+	}
+	t.unlink(i)
+	t.pushFront(i)
+}

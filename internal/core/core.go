@@ -1,0 +1,257 @@
+// Package core wires the complete Twig pipeline end to end — the
+// paper's deployment flow for one application:
+//
+//	build binary → profile a training run (LBR at BTB misses) →
+//	analyze (injection sites, compression, coalescing) → relink with
+//	brprefetch/brcoalesce injected → run the optimized binary.
+//
+// It is the engine behind the public twig package and the experiment
+// harness; everything here is deterministic given the workload
+// parameters and input numbers.
+package core
+
+import (
+	"fmt"
+
+	"twig/internal/btb"
+	"twig/internal/exec"
+	"twig/internal/pipeline"
+	"twig/internal/prefetcher"
+	"twig/internal/profile"
+	"twig/internal/program"
+	"twig/internal/twigopt"
+	"twig/internal/workload"
+)
+
+// Run phases: profiles are collected at ProfilePhase and every
+// evaluation simulates EvalPhase, so a "same input" evaluation sees the
+// same request mix as training but a fresh branch-outcome stream — two
+// runs of the same server, not a replay of the profiled execution.
+const (
+	ProfilePhase = 0
+	EvalPhase    = 1
+)
+
+// Options bundle the knobs of one end-to-end Twig evaluation.
+type Options struct {
+	// Pipeline is the machine configuration; BackendCPI and
+	// CondMispredictRate are overridden from the workload parameters.
+	Pipeline pipeline.Config
+	// BTB is the baseline BTB geometry.
+	BTB btb.Config
+	// Opt is the analysis configuration.
+	Opt twigopt.Config
+	// PrefetchBuffer is the architectural prefetch buffer size for
+	// Twig runs (the paper's default is 128; Fig. 25 sweeps it).
+	PrefetchBuffer int
+	// SampleRate is the profiler's miss sampling rate (1 = every miss).
+	SampleRate int
+	// ProfileInstructions is the training-run length. Zero means twice
+	// the evaluation window — production profiles cover far more
+	// execution than any simulated window, and rarely-missing branches
+	// need enough samples to earn a prefetch site.
+	ProfileInstructions int64
+}
+
+// DefaultOptions returns the paper's operating point.
+func DefaultOptions() Options {
+	return Options{
+		Pipeline:       pipeline.DefaultConfig(),
+		BTB:            btb.DefaultConfig(),
+		Opt:            twigopt.DefaultConfig(),
+		PrefetchBuffer: 128,
+		SampleRate:     1,
+	}
+}
+
+// Artifacts carries everything produced for one application, cached by
+// the experiment harness across figures.
+type Artifacts struct {
+	Params    workload.Params
+	Program   *program.Program // profiled (unmodified) binary
+	Optimized *program.Program // binary with injected prefetches
+	Profile   *profile.Profile
+	Analysis  *twigopt.Analysis
+	// TrainInput is the input number the profile was collected on.
+	TrainInput int
+}
+
+// machineConfig returns opts.Pipeline specialized to the app. Hooks
+// set on opts.Pipeline are preserved — callers attach them
+// deliberately (profilers, recorders).
+func machineConfig(opts Options, params workload.Params) pipeline.Config {
+	cfg := opts.Pipeline
+	cfg.BackendCPI = params.BackendCPI
+	cfg.CondMispredictRate = params.CondMispredictRate
+	return cfg
+}
+
+// BuildAndOptimize builds the app binary, profiles it on trainInput
+// with the baseline BTB, runs the Twig analysis, and relinks.
+func BuildAndOptimize(app workload.App, trainInput int, opts Options) (*Artifacts, error) {
+	params, err := workload.ParamsFor(app)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.Build(params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machineConfig(opts, params)
+	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
+	if opts.ProfileInstructions > 0 {
+		cfg.MaxInstructions = opts.ProfileInstructions
+	} else {
+		cfg.MaxInstructions = 2 * cfg.MaxInstructions
+	}
+	// Profiling observes the whole run: production LBR sampling sees
+	// every phase, and even a branch's first-ever miss has timely
+	// predecessors worth learning.
+	cfg.Warmup = 0
+	prof, _, err := profile.Collect(p, params.InputPhase(trainInput, ProfilePhase), cfg, opts.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	an, err := twigopt.Analyze(p, prof, opts.Opt)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := p.Inject(an.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: injecting plan for %s: %w", app, err)
+	}
+	return &Artifacts{
+		Params:     params,
+		Program:    p,
+		Optimized:  optimized,
+		Profile:    prof,
+		Analysis:   an,
+		TrainInput: trainInput,
+	}, nil
+}
+
+// BuildWithProfile builds the application's binary and optimizes it
+// from a previously collected profile (see profile.Save/Load) instead
+// of running a fresh training simulation — the decoupled deployment
+// flow, where profiles come from production machines.
+func BuildWithProfile(app workload.App, prof *profile.Profile, opts Options) (*Artifacts, error) {
+	params, err := workload.ParamsFor(app)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.Build(params)
+	if err != nil {
+		return nil, err
+	}
+	if len(prof.BlockExecs) != len(p.Blocks) {
+		return nil, fmt.Errorf("core: profile has %d blocks, binary has %d — profile is from a different binary",
+			len(prof.BlockExecs), len(p.Blocks))
+	}
+	an, err := twigopt.Analyze(p, prof, opts.Opt)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := p.Inject(an.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: injecting plan for %s: %w", app, err)
+	}
+	return &Artifacts{
+		Params:    params,
+		Program:   p,
+		Optimized: optimized,
+		Profile:   prof,
+		Analysis:  an,
+	}, nil
+}
+
+// Reoptimize re-runs the Twig analysis on the already-collected profile
+// with a different analysis configuration and returns the re-linked
+// binary and its analysis. Sensitivity sweeps over analysis parameters
+// (prefetch distance, coalesce mask width, coalescing on/off) reuse the
+// profile this way, exactly as the real system would reuse one
+// production profile for many optimization trials.
+func (a *Artifacts) Reoptimize(optCfg twigopt.Config) (*program.Program, *twigopt.Analysis, error) {
+	an, err := twigopt.Analyze(a.Program, a.Profile, optCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	optimized, err := a.Program.Inject(an.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return optimized, an, nil
+}
+
+// RunProgram simulates an arbitrary variant of the application's binary
+// (reordered, re-optimized, hand-modified) under the given scheme.
+func (a *Artifacts) RunProgram(prog *program.Program, input int, opts Options, scheme prefetcher.Scheme) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = scheme
+	return pipeline.Run(prog, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunOptimized simulates an alternative optimized binary (produced by
+// Reoptimize) under the Twig machine configuration.
+func (a *Artifacts) RunOptimized(optimized *program.Program, input int, opts Options) (*pipeline.Result, error) {
+	return a.RunProgram(optimized, input, opts, prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false))
+}
+
+// RunBaseline simulates the unmodified binary with a plain BTB.
+func (a *Artifacts) RunBaseline(input int, opts Options) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
+	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunIdealBTB simulates the unmodified binary with an ideal BTB.
+func (a *Artifacts) RunIdealBTB(input int, opts Options) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = prefetcher.NewIdeal()
+	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunTwig simulates the optimized binary: baseline BTB plus the
+// architectural prefetch buffer fed by the injected instructions.
+func (a *Artifacts) RunTwig(input int, opts Options) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false)
+	return pipeline.Run(a.Optimized, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunShotgun simulates the unmodified binary under Shotgun (with its
+// published 1536-entry return address stack).
+func (a *Artifacts) RunShotgun(input int, opts Options) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.RASEntries = 1536
+	cfg.Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunConfluence simulates the unmodified binary under Confluence.
+func (a *Artifacts) RunConfluence(input int, opts Options) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	ccfg := prefetcher.DefaultConfluenceConfig()
+	ccfg.BTB = opts.BTB
+	cfg.Scheme = prefetcher.NewConfluence(ccfg)
+	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// RunWithScheme simulates the unmodified binary under an arbitrary
+// scheme (sweeps and ablations).
+func (a *Artifacts) RunWithScheme(input int, opts Options, scheme prefetcher.Scheme) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = scheme
+	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// Input exposes the app's exec input for ad-hoc runs.
+func (a *Artifacts) Input(n int) exec.Input { return a.Params.InputPhase(n, EvalPhase) }
+
+// RunOptimizedScheme simulates the optimized binary under an arbitrary
+// scheme that understands InsertPrefetch — used by the ext-compressed
+// experiment to show Twig composing with alternative BTB organizations.
+func (a *Artifacts) RunOptimizedScheme(input int, opts Options, scheme prefetcher.Scheme) (*pipeline.Result, error) {
+	cfg := machineConfig(opts, a.Params)
+	cfg.Scheme = scheme
+	return pipeline.Run(a.Optimized, a.Params.InputPhase(input, EvalPhase), cfg)
+}

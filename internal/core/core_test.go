@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"twig/internal/twigopt"
+	"twig/internal/workload"
+)
+
+// smallOpts shrinks windows so the full pipeline runs in test time.
+func smallOpts() Options {
+	opts := DefaultOptions()
+	opts.Pipeline.MaxInstructions = 120_000
+	return opts
+}
+
+func TestBuildAndOptimizeEndToEnd(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Cassandra, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Program == nil || art.Optimized == nil || art.Profile == nil || art.Analysis == nil {
+		t.Fatal("artifacts incomplete")
+	}
+	if len(art.Profile.Samples) == 0 {
+		t.Fatal("profiling produced no samples")
+	}
+	if art.Optimized.InjectedInstrs() == 0 {
+		t.Fatal("optimization injected nothing")
+	}
+	if err := art.Optimized.Validate(); err != nil {
+		t.Fatalf("optimized binary invalid: %v", err)
+	}
+}
+
+func TestTwigOutperformsBaseline(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Verilator, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := art.RunBaseline(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := art.RunTwig(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := art.RunIdealBTB(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.IPC() <= base.IPC() {
+		t.Fatalf("Twig IPC %.3f <= baseline %.3f", tw.IPC(), base.IPC())
+	}
+	if ideal.IPC() < tw.IPC() {
+		t.Fatalf("Twig IPC %.3f beat the ideal BTB %.3f", tw.IPC(), ideal.IPC())
+	}
+	if tw.BTB.DirectMisses() >= base.BTB.DirectMisses() {
+		t.Fatal("Twig did not reduce BTB misses")
+	}
+}
+
+func TestTwigBeatsShotgunOnCoverage(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Cassandra, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := art.RunBaseline(0, opts)
+	tw, _ := art.RunTwig(0, opts)
+	sh, _ := art.RunShotgun(0, opts)
+	twCov := base.BTB.DirectMisses() - tw.BTB.DirectMisses()
+	shCov := base.BTB.DirectMisses() - sh.BTB.DirectMisses()
+	if twCov <= shCov {
+		t.Fatalf("Twig covered %d misses, Shotgun %d — paper's central result inverted", twCov, shCov)
+	}
+}
+
+func TestReoptimizeReusesProfile(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Kafka, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.Opt
+	cfg.DisableCoalescing = true
+	prog, an, err := art.Reoptimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.CoalesceTable) != 0 {
+		t.Fatal("coalescing-disabled reoptimize kept a table")
+	}
+	if an == art.Analysis {
+		t.Fatal("reoptimize returned the original analysis")
+	}
+	if _, err := art.RunOptimized(prog, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicArtifacts(t *testing.T) {
+	opts := smallOpts()
+	a1, err := BuildAndOptimize(workload.WordPress, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := BuildAndOptimize(workload.WordPress, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Profile.Samples) != len(a2.Profile.Samples) {
+		t.Fatal("profiling nondeterministic")
+	}
+	if len(a1.Analysis.Placements) != len(a2.Analysis.Placements) {
+		t.Fatal("analysis nondeterministic")
+	}
+	if a1.Optimized.TextBytes != a2.Optimized.TextBytes {
+		t.Fatal("relink nondeterministic")
+	}
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	opts := smallOpts()
+	opts.Opt = twigopt.DefaultConfig()
+	opts.Opt.PrefetchDistance = 35
+	art, err := BuildAndOptimize(workload.Drupal, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different distance must usually change the plan; compare
+	// against the default.
+	art2, err := BuildAndOptimize(workload.Drupal, 0, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Analysis.Placements) == len(art2.Analysis.Placements) &&
+		art.Optimized.TextBytes == art2.Optimized.TextBytes {
+		t.Fatal("prefetch distance had no effect on the plan")
+	}
+}
+
+func TestBuildWithProfileMatchesInProcess(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Kafka, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuilding from the same profile object must produce an identical
+	// plan (the decoupled flow changes nothing).
+	art2, err := BuildWithProfile(workload.Kafka, art.Profile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art2.Analysis.Placements) != len(art.Analysis.Placements) {
+		t.Fatalf("placements differ: %d vs %d",
+			len(art2.Analysis.Placements), len(art.Analysis.Placements))
+	}
+	if art2.Optimized.TextBytes != art.Optimized.TextBytes {
+		t.Fatal("optimized binaries differ")
+	}
+}
+
+func TestBuildWithProfileRejectsWrongBinary(t *testing.T) {
+	opts := smallOpts()
+	art, err := BuildAndOptimize(workload.Kafka, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildWithProfile(workload.Drupal, art.Profile, opts); err == nil {
+		t.Fatal("profile from a different binary accepted")
+	}
+}

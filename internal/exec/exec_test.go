@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"testing"
+
+	"twig/internal/isa"
+	"twig/internal/program"
+)
+
+// tinyProgram builds a dispatcher plus two handlers so all executor
+// paths (indirect dispatch, calls, returns, conditionals, loop) run.
+func tinyProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder(0x400000)
+	main := b.NewFunc()
+
+	h1 := b.NewFunc()
+	blk := h1.NewBlock()
+	blk.Regular(4)
+	blk.Cond(1, 128, false)
+	b2 := h1.NewBlock()
+	b2.Regular(4)
+	b3 := h1.NewBlock()
+	b3.Regular(2)
+	b3.Cond(2, 200, true) // loop back-edge
+	b4 := h1.NewBlock()
+	b4.Return()
+
+	h2 := b.NewFunc()
+	hb := h2.NewBlock()
+	hb.Regular(3)
+	hb.Return()
+
+	set := b.AddIndirectSet([]int32{h1.Index, h2.Index}, nil)
+	m0 := main.NewBlock()
+	m0.Regular(4)
+	m0.IndirectCall(set, true)
+	m1 := main.NewBlock()
+	m1.Jump(0)
+
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeterminism(t *testing.T) {
+	p := tinyProgram(t)
+	in := Input{Seed: 42, RequestMix: []float64{1, 1}}
+	e1, _ := New(p, in)
+	e2, _ := New(p, in)
+	var s1, s2 Step
+	for i := 0; i < 50000; i++ {
+		e1.Next(&s1)
+		e2.Next(&s2)
+		if s1 != s2 {
+			t.Fatalf("streams diverge at step %d: %+v vs %+v", i, s1, s2)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	p := tinyProgram(t)
+	e1, _ := New(p, Input{Seed: 1, RequestMix: []float64{1, 1}})
+	e2, _ := New(p, Input{Seed: 2, RequestMix: []float64{1, 1}})
+	var s1, s2 Step
+	same := 0
+	for i := 0; i < 10000; i++ {
+		e1.Next(&s1)
+		e2.Next(&s2)
+		if s1 == s2 {
+			same++
+		}
+	}
+	if same == 10000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCallReturnBalance(t *testing.T) {
+	p := tinyProgram(t)
+	e, _ := New(p, Input{Seed: 7, RequestMix: []float64{1, 1}})
+	var st Step
+	depth := 0
+	maxDepth := 0
+	for i := 0; i < 100000; i++ {
+		e.Next(&st)
+		switch p.Instrs[st.Idx].Kind {
+		case isa.KindCall, isa.KindIndirectCall:
+			depth++
+		case isa.KindReturn:
+			depth--
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if depth < 0 {
+			t.Fatalf("stack underflow at step %d", i)
+		}
+	}
+	if maxDepth == 0 {
+		t.Fatal("no calls executed")
+	}
+	if depth > maxDepth {
+		t.Fatal("unbounded stack growth")
+	}
+}
+
+func TestDispatchHonorsMix(t *testing.T) {
+	p := tinyProgram(t)
+	// Heavily skewed mix: handler 2 (index 1) should dominate.
+	e, _ := New(p, Input{Seed: 3, RequestMix: []float64{0.05, 0.95}})
+	var st Step
+	h1Entry := p.Funcs[1].Entry
+	h2Entry := p.Funcs[2].Entry
+	c1, c2 := 0, 0
+	for i := 0; i < 200000; i++ {
+		e.Next(&st)
+		if p.Instrs[st.Idx].Kind == isa.KindIndirectCall {
+			switch st.NextIdx {
+			case h1Entry:
+				c1++
+			case h2Entry:
+				c2++
+			}
+		}
+	}
+	if c1+c2 == 0 {
+		t.Fatal("dispatcher never fired")
+	}
+	frac := float64(c2) / float64(c1+c2)
+	if frac < 0.85 {
+		t.Fatalf("handler 2 got %.2f of dispatches, want ~0.95", frac)
+	}
+}
+
+func TestTakenSemantics(t *testing.T) {
+	p := tinyProgram(t)
+	e, _ := New(p, Input{Seed: 9, RequestMix: []float64{1, 1}})
+	var st Step
+	for i := 0; i < 50000; i++ {
+		e.Next(&st)
+		in := &p.Instrs[st.Idx]
+		fallthrough_ := st.Idx + 1
+		switch {
+		case !in.Kind.IsBranch():
+			if st.Taken || st.NextIdx != fallthrough_ {
+				t.Fatalf("non-branch %v at %d taken or jumped", in.Kind, st.Idx)
+			}
+		case in.Kind == isa.KindCondBranch:
+			if st.Taken && st.NextIdx != p.IndexOf(in.Target) {
+				t.Fatal("taken conditional went to the wrong place")
+			}
+			if !st.Taken && st.NextIdx != fallthrough_ {
+				t.Fatal("not-taken conditional did not fall through")
+			}
+		default:
+			if !st.Taken {
+				t.Fatalf("%v not marked taken", in.Kind)
+			}
+		}
+	}
+}

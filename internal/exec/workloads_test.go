@@ -1,0 +1,37 @@
+package exec_test
+
+import (
+	"testing"
+
+	"twig/internal/exec"
+	"twig/internal/program"
+	"twig/internal/workload"
+)
+
+func TestAllWorkloadsExecute(t *testing.T) {
+	// Every cataloged application must run without stalling in a tight
+	// cycle: over a window, the dispatcher must fire many times.
+	for _, app := range workload.Apps() {
+		params := workload.MustParams(app)
+		params.Scale = 0.03 // small build for test speed
+		p, err := workload.Build(params)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		e, err := exec.New(p, params.Input(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st exec.Step
+		dispatches := 0
+		for i := 0; i < 300000; i++ {
+			e.Next(&st)
+			if p.Instrs[st.Idx].Flags&program.FlagDispatch != 0 {
+				dispatches++
+			}
+		}
+		if dispatches < 5 {
+			t.Errorf("%s: only %d requests dispatched in 300K instructions", app, dispatches)
+		}
+	}
+}

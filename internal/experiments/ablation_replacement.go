@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twig/internal/btb"
+	"twig/internal/core"
+	"twig/internal/metrics"
+	"twig/internal/pipeline"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-replacement",
+		Title: "Ablation: BTB replacement policy (LRU / FIFO / random) with and without Twig",
+		Paper: "(not in paper) — the paper's baseline is LRU; Twig's benefit should not hinge on the victim policy",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "policy", "base MPKI", "twig sp%", "twig cover%")
+			for _, app := range c.SweepApps() {
+				for _, pol := range []btb.Replacement{btb.ReplaceLRU, btb.ReplaceFIFO, btb.ReplaceRandom} {
+					opts := c.Opts
+					opts.BTB.Replacement = pol
+					key := fmt.Sprintf("repl-%v/%s", pol, app)
+
+					var art *core.Artifacts
+					var err error
+					if pol == btb.ReplaceLRU {
+						art, err = c.Artifacts(app, 0)
+					} else {
+						// A different policy changes the profile, so the
+						// whole pipeline reruns.
+						art, err = core.BuildAndOptimize(app, 0, opts)
+					}
+					if err != nil {
+						return err
+					}
+					base, err := c.memoRun(key+"/base", func() (*pipeline.Result, error) {
+						return art.RunBaseline(0, opts)
+					})
+					if err != nil {
+						return err
+					}
+					tw, err := c.memoRun(key+"/twig", func() (*pipeline.Result, error) {
+						return art.RunTwig(0, opts)
+					})
+					if err != nil {
+						return err
+					}
+					t.Row(string(app), pol.String(), base.MPKI(),
+						metrics.Speedup(base.IPC(), tw.IPC()),
+						metrics.Coverage(base.BTB.DirectMisses(), tw.BTB.DirectMisses()))
+				}
+			}
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the
+// paper's characterization (§2) and evaluation (§4) sections. Each
+// experiment is a named entry in the registry (fig1..fig28, tab1..tab3,
+// plus ablations); `go run ./cmd/experiments` runs them all and prints
+// the same rows/series the paper reports, and bench_test.go exposes one
+// testing.B benchmark per experiment.
+//
+// A Context caches per-application artifacts (built binaries, profiles,
+// analyses, simulation results) across experiments, because most
+// figures share the same baseline/ideal/Twig runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"twig/internal/core"
+	"twig/internal/pipeline"
+	"twig/internal/workload"
+)
+
+// Context carries shared configuration and memoized results.
+type Context struct {
+	// Opts is the evaluation operating point (Table 1 machine, 8K BTB,
+	// paper analysis parameters).
+	Opts core.Options
+	// Apps is the evaluated application set (default: all nine).
+	Apps []workload.App
+	// Out receives rendered tables.
+	Out io.Writer
+
+	arts map[artKey]*core.Artifacts
+	runs map[string]*pipeline.Result
+}
+
+type artKey struct {
+	app   workload.App
+	train int
+}
+
+// NewContext returns a context with the paper's defaults; instructions
+// bounds each simulation window (the paper simulates 100M-instruction
+// traces; the default here is sized to regenerate everything in
+// minutes — pass a larger budget to tighten the numbers).
+func NewContext(out io.Writer, instructions int64) *Context {
+	opts := core.DefaultOptions()
+	if instructions > 0 {
+		opts.Pipeline.MaxInstructions = instructions
+	}
+	// Measure steady state, as the paper's "representative, steady-state"
+	// traces do: warm the machine for half a window first.
+	opts.Pipeline.Warmup = opts.Pipeline.MaxInstructions / 2
+	return &Context{
+		Opts: opts,
+		Apps: workload.Apps(),
+		Out:  out,
+		arts: make(map[artKey]*core.Artifacts),
+		runs: make(map[string]*pipeline.Result),
+	}
+}
+
+// Artifacts returns (building and caching on first use) the app's
+// binary, profile and Twig analysis for the given training input.
+func (c *Context) Artifacts(app workload.App, train int) (*core.Artifacts, error) {
+	k := artKey{app, train}
+	if a, ok := c.arts[k]; ok {
+		return a, nil
+	}
+	a, err := core.BuildAndOptimize(app, train, c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	c.arts[k] = a
+	return a, nil
+}
+
+// memoRun caches a simulation result under an explicit key.
+func (c *Context) memoRun(key string, f func() (*pipeline.Result, error)) (*pipeline.Result, error) {
+	if r, ok := c.runs[key]; ok {
+		return r, nil
+	}
+	r, err := f()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	c.runs[key] = r
+	return r, nil
+}
+
+// Baseline returns the cached baseline run for (app, input).
+func (c *Context) Baseline(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("base/%s/%d", app, input), func() (*pipeline.Result, error) {
+		return a.RunBaseline(input, c.Opts)
+	})
+}
+
+// IdealBTB returns the cached ideal-BTB run for (app, input).
+func (c *Context) IdealBTB(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("ideal/%s/%d", app, input), func() (*pipeline.Result, error) {
+		return a.RunIdealBTB(input, c.Opts)
+	})
+}
+
+// Twig returns the cached run of the input-train-0 optimized binary.
+func (c *Context) Twig(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("twig/%s/%d", app, input), func() (*pipeline.Result, error) {
+		return a.RunTwig(input, c.Opts)
+	})
+}
+
+// Shotgun returns the cached Shotgun run.
+func (c *Context) Shotgun(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("shotgun/%s/%d", app, input), func() (*pipeline.Result, error) {
+		return a.RunShotgun(input, c.Opts)
+	})
+}
+
+// Confluence returns the cached Confluence run.
+func (c *Context) Confluence(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("confluence/%s/%d", app, input), func() (*pipeline.Result, error) {
+		return a.RunConfluence(input, c.Opts)
+	})
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the registry key ("fig16", "tab3", "ablation-sites").
+	ID string
+	// Title describes what is reproduced.
+	Title string
+	// Paper summarizes what the paper reports for this experiment, for
+	// side-by-side comparison in the output.
+	Paper string
+	// Run renders the experiment into ctx.Out.
+	Run func(ctx *Context) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in their registration order
+// (figure order).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunOne executes an experiment with its header.
+func (c *Context) RunOne(e Experiment) error {
+	fmt.Fprintf(c.Out, "\n== %s: %s ==\n", e.ID, e.Title)
+	if e.Paper != "" {
+		fmt.Fprintf(c.Out, "paper: %s\n", e.Paper)
+	}
+	return e.Run(c)
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twig/internal/btb"
+	"twig/internal/metrics"
+	"twig/internal/pipeline"
+	"twig/internal/prefetcher"
+	"twig/internal/workload"
+)
+
+// r abbreviates the ubiquitous run-result type in memoized closures.
+type r = pipeline.Result
+
+func init() {
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Speedup over the FDIP baseline: Twig vs ideal BTB, 32K BTB, Shotgun, Confluence",
+		Paper: "Twig +20.86% avg (2-145%); ideal +31%; Shotgun ~+1%; Twig beats even a 32K-entry BTB on average",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "ideal %", "32K BTB %", "confluence %", "shotgun %", "twig %")
+			cols := make([][]float64, 5)
+			for _, app := range c.Apps {
+				base, err := c.Baseline(app, 0)
+				if err != nil {
+					return err
+				}
+				ideal, err := c.IdealBTB(app, 0)
+				if err != nil {
+					return err
+				}
+				tw, err := c.Twig(app, 0)
+				if err != nil {
+					return err
+				}
+				sh, err := c.Shotgun(app, 0)
+				if err != nil {
+					return err
+				}
+				cf, err := c.Confluence(app, 0)
+				if err != nil {
+					return err
+				}
+				big32, err := c.bigBTB(app, 32768)
+				if err != nil {
+					return err
+				}
+				vals := []float64{
+					metrics.Speedup(base.IPC(), ideal.IPC()),
+					metrics.Speedup(base.IPC(), big32.IPC()),
+					metrics.Speedup(base.IPC(), cf.IPC()),
+					metrics.Speedup(base.IPC(), sh.IPC()),
+					metrics.Speedup(base.IPC(), tw.IPC()),
+				}
+				for i, v := range vals {
+					cols[i] = append(cols[i], v)
+				}
+				t.Row(string(app), vals[0], vals[1], vals[2], vals[3], vals[4])
+			}
+			t.Row("average",
+				metrics.Mean(cols[0]), metrics.Mean(cols[1]), metrics.Mean(cols[2]),
+				metrics.Mean(cols[3]), metrics.Mean(cols[4]))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig17",
+		Title: "BTB miss coverage of Twig, Confluence, and Shotgun",
+		Paper: "Twig covers 65.4% avg (up to 95.8%), 57.4% more than Shotgun",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
+			var cs, ss, ts []float64
+			for _, app := range c.Apps {
+				base, err := c.Baseline(app, 0)
+				if err != nil {
+					return err
+				}
+				tw, err := c.Twig(app, 0)
+				if err != nil {
+					return err
+				}
+				sh, err := c.Shotgun(app, 0)
+				if err != nil {
+					return err
+				}
+				cf, err := c.Confluence(app, 0)
+				if err != nil {
+					return err
+				}
+				bm := base.BTB.DirectMisses()
+				vc := metrics.Coverage(bm, cf.BTB.DirectMisses())
+				vs := metrics.Coverage(bm, sh.BTB.DirectMisses())
+				vt := metrics.Coverage(bm, tw.BTB.DirectMisses())
+				cs, ss, ts = append(cs, vc), append(ss, vs), append(ts, vt)
+				t.Row(string(app), vc, vs, vt)
+			}
+			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(ts))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Contribution split: software BTB prefetching vs prefetch coalescing (% of ideal)",
+		Paper: "software prefetching alone ~32.6% of ideal; coalescing adds ~15.7% more (total 48.3%)",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "sw-only % of ideal", "with coalescing % of ideal", "coalescing gain")
+			var sws, fulls []float64
+			for _, app := range c.Apps {
+				a, err := c.Artifacts(app, 0)
+				if err != nil {
+					return err
+				}
+				base, err := c.Baseline(app, 0)
+				if err != nil {
+					return err
+				}
+				ideal, err := c.IdealBTB(app, 0)
+				if err != nil {
+					return err
+				}
+				full, err := c.Twig(app, 0)
+				if err != nil {
+					return err
+				}
+				swOnly, err := c.memoRun(fmt.Sprintf("swonly/%s", app), func() (*r, error) {
+					optCfg := c.Opts.Opt
+					optCfg.DisableCoalescing = true
+					prog, _, err := a.Reoptimize(optCfg)
+					if err != nil {
+						return nil, err
+					}
+					return a.RunOptimized(prog, 0, c.Opts)
+				})
+				if err != nil {
+					return err
+				}
+				idealSp := metrics.Speedup(base.IPC(), ideal.IPC())
+				swPct := metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), swOnly.IPC()), idealSp)
+				fullPct := metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), full.IPC()), idealSp)
+				sws, fulls = append(sws, swPct), append(fulls, fullPct)
+				t.Row(string(app), swPct, fullPct, fullPct-swPct)
+			}
+			t.Row("average", metrics.Mean(sws), metrics.Mean(fulls), metrics.Mean(fulls)-metrics.Mean(sws))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig19",
+		Title: "BTB prefetch accuracy of Twig, Confluence, and Shotgun",
+		Paper: "Twig 31.3% average accuracy, ~12.3% higher than Shotgun",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
+			var cs, ss, ts []float64
+			for _, app := range c.Apps {
+				tw, err := c.Twig(app, 0)
+				if err != nil {
+					return err
+				}
+				sh, err := c.Shotgun(app, 0)
+				if err != nil {
+					return err
+				}
+				cf, err := c.Confluence(app, 0)
+				if err != nil {
+					return err
+				}
+				vc := cf.Prefetch.Accuracy() * 100
+				vs := sh.Prefetch.Accuracy() * 100
+				vt := tw.Prefetch.Accuracy() * 100
+				cs, ss, ts = append(cs, vc), append(ss, vs), append(ts, vt)
+				t.Row(string(app), vc, vs, vt)
+			}
+			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(ts))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig20",
+		Title: "Cross-input generalization (% of ideal, inputs #1-#3, trained on #0) — includes Table 2",
+		Paper: "training-input profiles achieve speedups comparable to same-input profiles; both far above Shotgun/Confluence",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "same-input avg", "same stddev", "train-#0 avg", "train stddev", "shotgun avg", "confluence avg")
+			for _, app := range c.Apps {
+				var same, cross, shot, conf []float64
+				for input := 1; input <= 3; input++ {
+					base, err := c.Baseline(app, input)
+					if err != nil {
+						return err
+					}
+					ideal, err := c.IdealBTB(app, input)
+					if err != nil {
+						return err
+					}
+					idealSp := metrics.Speedup(base.IPC(), ideal.IPC())
+
+					// Twig trained on input #0, tested on this input.
+					tw, err := c.Twig(app, input)
+					if err != nil {
+						return err
+					}
+					cross = append(cross, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), tw.IPC()), idealSp))
+
+					// Twig trained and tested on the same input.
+					sameArt, err := c.Artifacts(app, input)
+					if err != nil {
+						return err
+					}
+					twSame, err := c.memoRun(fmt.Sprintf("twig-same/%s/%d", app, input), func() (*r, error) {
+						return sameArt.RunTwig(input, c.Opts)
+					})
+					if err != nil {
+						return err
+					}
+					same = append(same, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), twSame.IPC()), idealSp))
+
+					sh, err := c.Shotgun(app, input)
+					if err != nil {
+						return err
+					}
+					shot = append(shot, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), sh.IPC()), idealSp))
+					cf, err := c.Confluence(app, input)
+					if err != nil {
+						return err
+					}
+					conf = append(conf, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), cf.IPC()), idealSp))
+				}
+				t.Row(string(app),
+					metrics.Mean(same), metrics.StdDev(same),
+					metrics.Mean(cross), metrics.StdDev(cross),
+					metrics.Mean(shot), metrics.Mean(conf))
+			}
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Twig's average % of ideal across inputs with standard deviations",
+		Paper: "e.g. kafka 52.35/49.93, verilator 80.33/79.19 (tiny stddev), cassandra 49.31/45.93",
+		Run: func(c *Context) error {
+			// Table 2 is the numeric form of fig20's Twig columns.
+			e, _ := ByID("fig20")
+			return e.Run(c)
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Static instruction overhead of injected prefetches",
+		Paper: "~6% average extra static instructions (scaled binaries here are denser; see EXPERIMENTS.md)",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "injected instrs", "static overhead %")
+			var all []float64
+			for _, app := range c.Apps {
+				a, err := c.Artifacts(app, 0)
+				if err != nil {
+					return err
+				}
+				oh := float64(a.Optimized.InjectedInstrs()) / float64(a.Program.OriginalInstrs) * 100
+				all = append(all, oh)
+				t.Row(string(app), a.Optimized.InjectedInstrs(), oh)
+			}
+			t.Row("average", "", metrics.Mean(all))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig22",
+		Title: "Dynamic instruction overhead of injected prefetches",
+		Paper: "~3% average extra dynamic instructions; verilator highest",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "dynamic overhead %")
+			var all []float64
+			for _, app := range c.Apps {
+				tw, err := c.Twig(app, 0)
+				if err != nil {
+					return err
+				}
+				v := tw.DynamicOverhead() * 100
+				all = append(all, v)
+				t.Row(string(app), v)
+			}
+			t.Row("average", metrics.Mean(all))
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab3",
+		Title: "Instruction working-set size and added bytes",
+		Paper: "working sets 1.75-13.56MB; added 0.05-1.34MB (2.9-9.9%)",
+		Run: func(c *Context) error {
+			t := metrics.NewTable("app", "text MB", "added MB", "overhead %")
+			for _, app := range c.Apps {
+				a, err := c.Artifacts(app, 0)
+				if err != nil {
+					return err
+				}
+				text := float64(a.Program.TextBytes) / 1e6
+				added := float64(a.Optimized.InjectedBytes()) / 1e6
+				t.Row(string(app), fmt.Sprintf("%.3f", text), fmt.Sprintf("%.3f", added), added/text*100)
+			}
+			_, err := fmt.Fprint(c.Out, t.String())
+			return err
+		},
+	})
+}
+
+// bigBTB returns the cached run of the unmodified binary with an
+// entries-sized baseline BTB (Fig. 16's 32K comparison point).
+func (c *Context) bigBTB(app workload.App, entries int) (*r, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRun(fmt.Sprintf("btb%d/%s", entries, app), func() (*r, error) {
+		scheme := prefetcher.NewBaseline(btb.Config{Entries: entries, Ways: c.Opts.BTB.Ways}, 0, false)
+		return a.RunWithScheme(0, c.Opts, scheme)
+	})
+}

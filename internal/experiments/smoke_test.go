@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twig/internal/workload"
+)
+
+// TestEveryExperimentRuns executes the complete registry — every
+// figure, table, ablation and extension — at a tiny scale with one
+// application, so a broken experiment fails `go test ./...` rather than
+// surfacing the first time someone regenerates the paper.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry; skipped in -short")
+	}
+	var buf bytes.Buffer
+	ctx := NewContext(&buf, 50_000)
+	ctx.Apps = []workload.App{workload.Verilator}
+	for _, e := range All() {
+		if err := ctx.RunOne(e); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "== "+e.ID+":") {
+			t.Errorf("experiment %s produced no header", e.ID)
+		}
+	}
+	// Each simulation-backed experiment must include the app's row.
+	if strings.Count(out, "verilator") < 25 {
+		t.Errorf("too few application rows in combined output")
+	}
+}

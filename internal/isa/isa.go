@@ -1,0 +1,209 @@
+// Package isa defines the synthetic instruction-set model shared by the
+// program builder, the execution engine, and the microarchitectural
+// simulator.
+//
+// The model mimics a variable-length ISA (x86-64): instructions are 2-8
+// bytes, branches come in the flavours the paper's characterization
+// distinguishes (Figs. 7 and 8), and two new instructions implement the
+// paper's contribution:
+//
+//   - brprefetch  <branch-offset:12b signed> <target-offset:12b signed>
+//     inserts the BTB entry (branchPC, targetPC) derived from the two
+//     compressed offsets (§3.1 of the paper, Figs. 14-15).
+//   - brcoalesce  <table-slot> <bitmask:8b>
+//     loads up to 8 consecutive (branchPC, targetPC) pairs from the
+//     sorted key-value table embedded in the text segment and prefetches
+//     those selected by the bitmask (§3.2).
+package isa
+
+import "fmt"
+
+// Kind classifies an instruction for the frontend. The simulator only
+// cares about control flow and the two prefetch instructions; everything
+// else is KindRegular.
+type Kind uint8
+
+const (
+	// KindRegular is any non-control-flow instruction.
+	KindRegular Kind = iota
+	// KindCondBranch is a direct conditional branch.
+	KindCondBranch
+	// KindJump is a direct unconditional jump.
+	KindJump
+	// KindCall is a direct call.
+	KindCall
+	// KindIndirectJump is a register-indirect unconditional jump.
+	KindIndirectJump
+	// KindIndirectCall is a register-indirect call (virtual dispatch).
+	KindIndirectCall
+	// KindReturn is a return; its target comes from the return address
+	// stack, not the BTB target field.
+	KindReturn
+	// KindBrPrefetch is Twig's single-entry BTB prefetch instruction.
+	KindBrPrefetch
+	// KindBrCoalesce is Twig's coalesced BTB prefetch instruction.
+	KindBrCoalesce
+
+	// NumKinds is the number of instruction kinds; handy for arrays
+	// indexed by Kind.
+	NumKinds
+)
+
+// String implements fmt.Stringer with the mnemonic-ish names used in
+// experiment output.
+func (k Kind) String() string {
+	switch k {
+	case KindRegular:
+		return "regular"
+	case KindCondBranch:
+		return "cond"
+	case KindJump:
+		return "jump"
+	case KindCall:
+		return "call"
+	case KindIndirectJump:
+		return "ind-jump"
+	case KindIndirectCall:
+		return "ind-call"
+	case KindReturn:
+		return "return"
+	case KindBrPrefetch:
+		return "brprefetch"
+	case KindBrCoalesce:
+		return "brcoalesce"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsBranch reports whether the kind is any control-flow instruction
+// (conditional, unconditional, indirect, or return).
+func (k Kind) IsBranch() bool {
+	switch k {
+	case KindCondBranch, KindJump, KindCall, KindIndirectJump, KindIndirectCall, KindReturn:
+		return true
+	}
+	return false
+}
+
+// IsDirect reports whether the kind is a direct branch, i.e. one whose
+// target is encoded in the instruction. The paper's BTB MPKI metric
+// (Fig. 3) counts only misses of direct branches.
+func (k Kind) IsDirect() bool {
+	return k == KindCondBranch || k == KindJump || k == KindCall
+}
+
+// IsUnconditionalDirect reports whether the kind is an unconditional
+// direct branch or call — the class Shotgun dedicates its U-BTB to and
+// the paper's Fig. 11 sizes.
+func (k Kind) IsUnconditionalDirect() bool {
+	return k == KindJump || k == KindCall
+}
+
+// IsIndirect reports whether the branch target comes from a register.
+func (k Kind) IsIndirect() bool {
+	return k == KindIndirectJump || k == KindIndirectCall
+}
+
+// IsCallKind reports whether the kind pushes a return address.
+func (k Kind) IsCallKind() bool {
+	return k == KindCall || k == KindIndirectCall
+}
+
+// IsPrefetch reports whether the kind is one of Twig's injected
+// prefetch instructions.
+func (k Kind) IsPrefetch() bool {
+	return k == KindBrPrefetch || k == KindBrCoalesce
+}
+
+// Instruction byte sizes. The synthetic layout uses fixed per-kind sizes
+// drawn from typical x86-64 encodings; regular instructions vary 2-8
+// bytes (chosen by the program builder) for a realistic ~4.2B average.
+const (
+	// SizeCondBranch is the size of a conditional branch (jcc rel32-ish,
+	// but most are rel8: use 3 as a blend).
+	SizeCondBranch = 3
+	// SizeJump is the size of a direct jmp.
+	SizeJump = 5
+	// SizeCall is the size of a direct call (call rel32).
+	SizeCall = 5
+	// SizeIndirect is the size of an indirect jmp/call through a register.
+	SizeIndirect = 3
+	// SizeReturn is the size of ret.
+	SizeReturn = 1
+	// SizeBrPrefetch is the size of Twig's brprefetch: opcode (2B, as a
+	// new instruction would take an escape prefix) + two packed 12-bit
+	// signed offsets (3B) + modrm-ish byte = 6B.
+	SizeBrPrefetch = 6
+	// SizeBrCoalesce is the size of Twig's brcoalesce: opcode (2B) +
+	// 32-bit table-slot displacement + 8-bit mask = 7B.
+	SizeBrCoalesce = 7
+	// SizeCoalesceEntry is the size of one (branchPC, targetPC) key-value
+	// pair in the sorted prefetch table: two 48-bit pointers packed into
+	// 12 bytes (§3.2 stores both addresses; x86-64 canonical addresses
+	// fit in 48 bits per the paper's citation [87]).
+	SizeCoalesceEntry = 12
+
+	// MinRegularSize and MaxRegularSize bound non-branch instruction sizes.
+	MinRegularSize = 2
+	MaxRegularSize = 8
+
+	// CacheLineSize is the I-cache line size in bytes used across the
+	// repository (Table 1's hierarchy uses 64B lines).
+	CacheLineSize = 64
+)
+
+// OffsetBits is the width of the signed offset fields in brprefetch.
+// The paper finds 12 bits cover >80% of prefetch-to-branch and
+// branch-to-target deltas (Figs. 14-15).
+const OffsetBits = 12
+
+// CoalesceMaskBits is the default coalesce bitmask width; the paper's
+// sensitivity study (Fig. 27) settles on 8 bits.
+const CoalesceMaskBits = 8
+
+// FitsSigned reports whether delta is representable as a bits-wide
+// signed two's-complement integer. brprefetch encodes both of its
+// offsets this way.
+func FitsSigned(delta int64, bits int) bool {
+	if bits <= 0 || bits >= 64 {
+		return bits > 0
+	}
+	lim := int64(1) << (bits - 1)
+	return delta >= -lim && delta < lim
+}
+
+// SignedBitsFor returns the minimum number of bits needed to encode
+// delta as a signed two's-complement integer. Used to build the CDFs of
+// Figs. 14 and 15.
+func SignedBitsFor(delta int64) int {
+	for bits := 1; bits < 64; bits++ {
+		if FitsSigned(delta, bits) {
+			return bits
+		}
+	}
+	return 64
+}
+
+// KindSize returns the encoded size in bytes for non-regular kinds.
+// Regular instruction sizes are chosen by the program builder.
+func KindSize(k Kind) int {
+	switch k {
+	case KindCondBranch:
+		return SizeCondBranch
+	case KindJump:
+		return SizeJump
+	case KindCall:
+		return SizeCall
+	case KindIndirectJump, KindIndirectCall:
+		return SizeIndirect
+	case KindReturn:
+		return SizeReturn
+	case KindBrPrefetch:
+		return SizeBrPrefetch
+	case KindBrCoalesce:
+		return SizeBrCoalesce
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,120 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		kind                          Kind
+		branch, direct, uncond, indir bool
+		call, prefetch                bool
+	}{
+		{KindRegular, false, false, false, false, false, false},
+		{KindCondBranch, true, true, false, false, false, false},
+		{KindJump, true, true, true, false, false, false},
+		{KindCall, true, true, true, false, true, false},
+		{KindIndirectJump, true, false, false, true, false, false},
+		{KindIndirectCall, true, false, false, true, true, false},
+		{KindReturn, true, false, false, false, false, false},
+		{KindBrPrefetch, false, false, false, false, false, true},
+		{KindBrCoalesce, false, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.kind.IsBranch() != c.branch {
+			t.Errorf("%v: IsBranch = %v, want %v", c.kind, c.kind.IsBranch(), c.branch)
+		}
+		if c.kind.IsDirect() != c.direct {
+			t.Errorf("%v: IsDirect = %v, want %v", c.kind, c.kind.IsDirect(), c.direct)
+		}
+		if c.kind.IsUnconditionalDirect() != c.uncond {
+			t.Errorf("%v: IsUnconditionalDirect = %v, want %v", c.kind, c.kind.IsUnconditionalDirect(), c.uncond)
+		}
+		if c.kind.IsIndirect() != c.indir {
+			t.Errorf("%v: IsIndirect = %v, want %v", c.kind, c.kind.IsIndirect(), c.indir)
+		}
+		if c.kind.IsCallKind() != c.call {
+			t.Errorf("%v: IsCallKind = %v, want %v", c.kind, c.kind.IsCallKind(), c.call)
+		}
+		if c.kind.IsPrefetch() != c.prefetch {
+			t.Errorf("%v: IsPrefetch = %v, want %v", c.kind, c.kind.IsPrefetch(), c.prefetch)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind stringer: %s", Kind(200))
+	}
+}
+
+func TestFitsSignedKnown(t *testing.T) {
+	cases := []struct {
+		delta int64
+		bits  int
+		want  bool
+	}{
+		{0, 1, true},
+		{-1, 1, true},
+		{1, 1, false}, // 1-bit signed range is [-1, 0]
+		{2047, 12, true},
+		{2048, 12, false},
+		{-2048, 12, true},
+		{-2049, 12, false},
+		{1 << 40, 48, true},
+	}
+	for _, c := range cases {
+		if got := FitsSigned(c.delta, c.bits); got != c.want {
+			t.Errorf("FitsSigned(%d, %d) = %v, want %v", c.delta, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestSignedBitsForRoundTrip(t *testing.T) {
+	// Property: delta always fits in SignedBitsFor(delta) bits and never
+	// in one fewer bit.
+	if err := quick.Check(func(d int64) bool {
+		b := SignedBitsFor(d)
+		if !FitsSigned(d, b) {
+			return false
+		}
+		if b > 1 && FitsSigned(d, b-1) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedBitsForMonotonic(t *testing.T) {
+	// Larger magnitudes never need fewer bits.
+	prev := 0
+	for d := int64(0); d < 1<<20; d = d*2 + 1 {
+		b := SignedBitsFor(d)
+		if b < prev {
+			t.Fatalf("SignedBitsFor not monotone at %d: %d < %d", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestKindSize(t *testing.T) {
+	if KindSize(KindRegular) != 0 {
+		t.Error("regular instructions have builder-chosen sizes; KindSize must be 0")
+	}
+	for _, k := range []Kind{KindCondBranch, KindJump, KindCall, KindIndirectCall, KindIndirectJump, KindReturn, KindBrPrefetch, KindBrCoalesce} {
+		if KindSize(k) <= 0 {
+			t.Errorf("KindSize(%v) = %d, want > 0", k, KindSize(k))
+		}
+	}
+	if KindSize(KindBrPrefetch) != SizeBrPrefetch || KindSize(KindBrCoalesce) != SizeBrCoalesce {
+		t.Error("prefetch instruction sizes mismatch")
+	}
+}

@@ -1,0 +1,148 @@
+// Package metrics provides the derived quantities and small statistics
+// helpers the experiment harness reports: speedups, coverage, MPKI,
+// means and standard deviations, and CDF construction for the offset
+// studies.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Speedup returns the percentage IPC improvement of ipc over base
+// (20.86 means +20.86%).
+func Speedup(base, ipc float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (ipc/base - 1) * 100
+}
+
+// Coverage returns the percentage of baseline misses eliminated.
+func Coverage(baselineMisses, misses int64) float64 {
+	if baselineMisses == 0 {
+		return 0
+	}
+	c := float64(baselineMisses-misses) / float64(baselineMisses) * 100
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// PercentOfIdeal expresses a configuration's speedup as a share of the
+// ideal-BTB speedup over the same baseline (the normalization of
+// Figs. 18, 20, 23-28 and Table 2).
+func PercentOfIdeal(speedup, idealSpeedup float64) float64 {
+	if idealSpeedup == 0 {
+		return 0
+	}
+	return speedup / idealSpeedup * 100
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CDF converts a histogram (count per bucket index) into a cumulative
+// distribution in percent: out[i] = share of mass in buckets <= i.
+func CDF(hist []int64) []float64 {
+	var total int64
+	for _, h := range hist {
+		total += h
+	}
+	out := make([]float64, len(hist))
+	var run int64
+	for i, h := range hist {
+		run += h
+		if total > 0 {
+			out[i] = float64(run) / float64(total) * 100
+		}
+	}
+	return out
+}
+
+// Table is a tiny fixed-width text table builder for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are formatted with %v, and float64 cells
+// with two decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := width[i] - len(c)
+			if i == 0 {
+				// Left-align the first column (names).
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

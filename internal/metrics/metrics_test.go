@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.0, 1.2); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Speedup(1,1.2) = %f, want 20", got)
+	}
+	if got := Speedup(2.0, 1.0); math.Abs(got+50) > 1e-9 {
+		t.Fatalf("Speedup(2,1) = %f, want -50", got)
+	}
+	if Speedup(0, 5) != 0 {
+		t.Fatal("zero base must yield 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage(100, 35); got != 65 {
+		t.Fatalf("Coverage = %f, want 65", got)
+	}
+	if Coverage(0, 10) != 0 {
+		t.Fatal("zero baseline must yield 0")
+	}
+	if Coverage(10, 20) != 0 {
+		t.Fatal("negative coverage must clamp to 0")
+	}
+}
+
+func TestPercentOfIdeal(t *testing.T) {
+	if got := PercentOfIdeal(20.86, 31); math.Abs(got-67.29) > 0.01 {
+		t.Fatalf("PercentOfIdeal = %f", got)
+	}
+	if PercentOfIdeal(10, 0) != 0 {
+		t.Fatal("zero ideal must yield 0")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %f, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("StdDev = %f, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs not handled")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]int64{0, 1, 3, 0, 4})
+	want := []float64{0, 12.5, 50, 50, 100}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-9 {
+			t.Fatalf("CDF[%d] = %f, want %f", i, cdf[i], want[i])
+		}
+	}
+	if empty := CDF([]int64{0, 0}); empty[1] != 0 {
+		t.Fatal("empty histogram CDF must be zero")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		hist := make([]int64, len(raw))
+		for i, v := range raw {
+			hist[i] = int64(v)
+		}
+		cdf := CDF(hist)
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev-1e-9 || v > 100+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "value %")
+	tb.Row("cassandra", 20.86)
+	tb.Row("x", 1.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], "20.86") {
+		t.Fatalf("row formatting lost the value: %q", lines[1])
+	}
+	// Columns aligned: each line equally wide.
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("columns not aligned: %q", out)
+	}
+}

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"twig/internal/btb"
+	"twig/internal/isa"
+	"twig/internal/prefetcher"
+	"twig/internal/workload"
+)
+
+// TestCalibration prints the characterization table used to tune the
+// workload catalog against the paper's Figs. 1-3. Run with
+// TWIG_CALIBRATE=1 to enable.
+func TestCalibration(t *testing.T) {
+	if os.Getenv("TWIG_CALIBRATE") == "" {
+		t.Skip("set TWIG_CALIBRATE=1 to run")
+	}
+	fmt.Printf("%-16s %8s %8s %7s %7s %7s %7s %7s %6s %6s %8s %8s\n",
+		"app", "statbr", "uncond", "MPKI", "iBTB%", "iIC%", "fb%", "icMPKI", "dirAcc", "missRt", "IPC", "textMB")
+	for _, app := range workload.Apps() {
+		params := workload.MustParams(app)
+		p, err := workload.Build(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kc := p.KindCounts()
+		uncond := kc[isa.KindJump] + kc[isa.KindCall]
+		cfg := DefaultConfig()
+		cfg.MaxInstructions = 2_000_000
+		cfg.BackendCPI = params.BackendCPI
+		cfg.CondMispredictRate = params.CondMispredictRate
+		cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+		res, err := Run(p, params.Input(0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgB := cfg
+		cfgB.Scheme = prefetcher.NewIdeal()
+		resB, _ := Run(p, params.Input(0), cfgB)
+		cfgI := cfg
+		cfgI.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+		cfgI.IdealICache = true
+		resI, _ := Run(p, params.Input(0), cfgI)
+		dirAcc := float64(res.BTB.DirectAccesses()) / float64(res.Original) * 1000
+		missRt := float64(res.BTB.DirectMisses()) / float64(res.BTB.DirectAccesses()) * 100
+		fmt.Printf("%-16s %8d %8d %7.1f %7.1f %7.1f %7.1f %7.1f %6.0f %6.1f %8.3f %8.2f\n",
+			app, p.StaticBranches(), uncond, res.MPKI(),
+			(resB.IPC()/res.IPC()-1)*100, (resI.IPC()/res.IPC()-1)*100,
+			res.FrontendBoundFrac()*100,
+			float64(res.ICacheMisses)/float64(res.Original)*1000,
+			dirAcc, missRt, res.IPC(), float64(p.TextBytes)/1e6)
+	}
+}

@@ -1,0 +1,711 @@
+// Package pipeline is the cycle-approximate CPU model: a 6-wide
+// out-of-order core with the decoupled frontend + FDIP organization the
+// paper's Table 1 describes (24-entry FTQ, 224-entry ROB, 8K-entry BTB
+// via a prefetcher.Scheme, 32-entry RAS, 4K-entry IBTB, 32KB L1i backed
+// by L2/L3).
+//
+// # Timing model
+//
+// The simulator advances three clocks over the dynamic instruction
+// stream in a single pass, O(1) per instruction:
+//
+//   - bpuClock: when the branch prediction unit emitted the fetch
+//     target for this instruction. Sequential instructions stream at
+//     machine width; each taken branch costs a full BPU cycle; the BPU
+//     stalls when the FTQ is full (it may run at most FTQSize branches
+//     ahead of fetch).
+//   - fetchClock: when the fetch engine obtained the instruction:
+//     max(previous fetch + width slot, bpuClock, ROB backpressure) plus
+//     any exposed I-cache stall. FDIP issues the line prefetch when the
+//     BPU enqueues the instruction (bpuClock), so a miss with latency L
+//     exposes only max(0, L − (fetch − bpu)): frontend run-ahead hides
+//     instruction misses, which is exactly FDIP's mechanism.
+//   - retireClock: bounded by the application's backend CPI and by
+//     fetchClock + pipeline depth. Reported cycles are the final
+//     retireClock.
+//
+// BTB misses steer the BPU: a miss on a taken branch is discovered only
+// after the instruction is fetched and decoded, so bpuClock jumps to
+// fetchClock + DecodeResteer and the FTQ drains — subsequent I-cache
+// misses become exposed because run-ahead was lost. This second-order
+// cost is the paper's central observation (§2.1): an ideal BTB helps
+// more than an ideal I-cache because it both removes resteers and keeps
+// FDIP running ahead.
+//
+// Direction mispredicts, RAS mispredicts and IBTB target mispredicts
+// resteer from execute (ExecResteer). Twig's injected brprefetch /
+// brcoalesce instructions consume fetch slots like any instruction and
+// stage entries into the scheme's prefetch buffer after a small fixed
+// latency (brprefetch) or an L2-class table-load latency (brcoalesce).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"twig/internal/bpu"
+	"twig/internal/btb"
+	"twig/internal/cache"
+	"twig/internal/exec"
+	"twig/internal/isa"
+	"twig/internal/prefetcher"
+	"twig/internal/program"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Width is the machine width in instructions per cycle (Table 1: 6).
+	Width float64
+	// FTQSize is the fetch target queue depth in branches (Table 1: 24;
+	// Fig. 28 sweeps 1-64).
+	FTQSize int
+	// ROBSize bounds how many instructions fetch may run ahead of
+	// retire (Table 1: 224).
+	ROBSize int
+	// DecodeResteer is the penalty in cycles for a frontend resteer
+	// when a BTB miss is discovered at decode.
+	DecodeResteer float64
+	// ExecResteer is the penalty for execute-detected mispredicts
+	// (direction, indirect target, return address).
+	ExecResteer float64
+	// BackendDepth is the fetch-to-retire pipeline depth in cycles.
+	BackendDepth float64
+	// BackendCPI is the application's backend cycles-per-instruction
+	// component (data stalls, dependencies).
+	BackendCPI float64
+	// CondMispredictRate is the direction predictor's per-branch
+	// mispredict probability (TAGE-SC-L proxy), used when UseTAGE is
+	// false.
+	CondMispredictRate float64
+	// UseTAGE replaces the statistical direction model with the
+	// structural TAGE predictor (bpu.TAGE). Slower but history-exact;
+	// the ablation-tage experiment quantifies the difference.
+	UseTAGE bool
+	// RASEntries sizes the return address stack (Table 1: 32; Shotgun
+	// runs use 1536).
+	RASEntries int
+	// IBTBEntries/IBTBWays size the indirect target buffer (Table 1:
+	// 4096, 4-way).
+	IBTBEntries, IBTBWays int
+	// Hierarchy is the instruction-side cache hierarchy.
+	Hierarchy cache.HierarchyConfig
+	// IdealICache makes every I-cache access hit (the Fig. 2 limit
+	// study).
+	IdealICache bool
+	// FDIP enables decoupled-frontend prefetching; disabling it exposes
+	// full I-cache latency on every miss (no run-ahead hiding).
+	FDIP bool
+	// NextLinePrefetch is the degree of the sequential L1i prefetcher
+	// (lines prefetched past each accessed line; 0 disables). Real
+	// frontends pair FDIP with a simple sequential prefetcher.
+	NextLinePrefetch int
+	// BrPrefetchLatency is the delay from a brprefetch instruction's
+	// execution to its entry becoming ready in the prefetch buffer.
+	BrPrefetchLatency float64
+	// CoalesceLoadLatency is the corresponding delay for brcoalesce,
+	// dominated by loading the key-value table entry (L2-class).
+	CoalesceLoadLatency float64
+	// MaxInstructions is the number of *original* (non-injected)
+	// instructions to simulate and measure.
+	MaxInstructions int64
+	// Warmup is the number of original instructions to simulate before
+	// measurement begins: caches, BTB and predictors reach steady state
+	// and the statistics are then reset, matching the paper's
+	// "representative, steady-state" trace windows. Hooks do not fire
+	// during warmup.
+	Warmup int64
+	// Scheme is the BTB organization + prefetcher. nil means a plain
+	// baseline BTB with no software-prefetch buffer.
+	Scheme prefetcher.Scheme
+	// Hooks receive profiling events; zero-value disables them.
+	Hooks Hooks
+}
+
+// DefaultConfig returns Table 1's configuration with the latencies used
+// throughout the evaluation. BackendCPI and CondMispredictRate are
+// per-application and must be set from the workload parameters.
+func DefaultConfig() Config {
+	return Config{
+		Width:               6,
+		FTQSize:             24,
+		ROBSize:             224,
+		DecodeResteer:       9,
+		ExecResteer:         16,
+		BackendDepth:        10,
+		BackendCPI:          0.33,
+		CondMispredictRate:  0.006,
+		RASEntries:          32,
+		IBTBEntries:         4096,
+		IBTBWays:            4,
+		Hierarchy:           cache.DefaultHierarchy(),
+		FDIP:                true,
+		NextLinePrefetch:    2,
+		BrPrefetchLatency:   3,
+		CoalesceLoadLatency: 16,
+		MaxInstructions:     2_000_000,
+	}
+}
+
+// Hooks are optional per-event callbacks for profilers and recorders.
+// They observe the committed (correct-path) stream.
+type Hooks struct {
+	// OnTaken fires for every taken branch with the branch and target
+	// layout indexes and the branch's fetch cycle.
+	OnTaken func(fromIdx, toIdx int32, cycle float64)
+	// OnBTBMiss fires for every direct-branch demand BTB miss (after
+	// prefetch-buffer lookup, i.e. real misses only).
+	OnBTBMiss func(branchIdx int32, cycle float64)
+	// OnBlockEnter fires when execution enters a basic block.
+	OnBlockEnter func(blockID int32)
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Instructions counts all executed instructions; Original excludes
+	// Twig-injected prefetch instructions.
+	Instructions, Original int64
+	// InjectedExecuted counts executed brprefetch/brcoalesce
+	// instructions (the paper's dynamic overhead numerator, Fig. 22).
+	InjectedExecuted int64
+	// Cycles is the retire clock at the last instruction.
+	Cycles float64
+	// BTB holds per-kind access/miss counts from the scheme.
+	BTB btb.Stats
+	// Prefetch holds the scheme's prefetch effectiveness counters.
+	Prefetch prefetcher.PrefetchStats
+	// CoveredMisses counts demand lookups that would have missed but
+	// were served by a prefetched entry.
+	CoveredMisses int64
+	// LateCoveredMisses is the subset served late (partial stall).
+	LateCoveredMisses int64
+	// ICache statistics (demand path).
+	ICacheAccesses, ICacheMisses int64
+	// ICacheStallCycles is the exposed (non-hidden) instruction fetch
+	// stall time.
+	ICacheStallCycles float64
+	// BPUWaitCycles is fetch time spent waiting for the BPU — the
+	// resteer-induced starvation component.
+	BPUWaitCycles float64
+	// BTBResteers counts decode-time resteers from BTB misses;
+	// CondMispredicts/RASMispredicts/IBTBMispredicts count
+	// execute-time resteers by cause.
+	BTBResteers                                      int64
+	CondMispredicts, RASMispredicts, IBTBMispredicts int64
+	// MissLeadSum accumulates the FDIP run-ahead (fetch minus BPU
+	// clock) observed at each demand L1i miss; MissLeadSum/ICacheMisses
+	// is the mean hiding capacity — a model diagnostic.
+	MissLeadSum float64
+}
+
+// IPC returns original instructions per cycle — injected prefetches are
+// overhead, not work, so speedups computed from this IPC charge Twig
+// for them.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Original) / r.Cycles
+}
+
+// MPKI returns direct-branch BTB misses per kilo original instructions
+// (the Fig. 3 metric).
+func (r *Result) MPKI() float64 {
+	if r.Original == 0 {
+		return 0
+	}
+	return float64(r.BTB.DirectMisses()) / float64(r.Original) * 1000
+}
+
+// FrontendBoundFrac approximates the Top-Down frontend-bound share
+// (Fig. 1): the fraction of cycles in which fetch was starved by the
+// BPU or by exposed I-cache misses.
+func (r *Result) FrontendBoundFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	f := (r.BPUWaitCycles + r.ICacheStallCycles) / r.Cycles
+	return math.Min(1, f)
+}
+
+// DynamicOverhead returns injected-instruction execution as a fraction
+// of original instructions (Fig. 22).
+func (r *Result) DynamicOverhead() float64 {
+	if r.Original == 0 {
+		return 0
+	}
+	return float64(r.InjectedExecuted) / float64(r.Original)
+}
+
+// Run simulates cfg.MaxInstructions original instructions of p,
+// execution-driven from the input's stream.
+func Run(p *program.Program, in exec.Input, cfg Config) (*Result, error) {
+	ex, err := exec.New(p, in)
+	if err != nil {
+		return nil, err
+	}
+	return RunSource(p, ex, cfg)
+}
+
+// RunSource simulates from an arbitrary step source — an executor or a
+// trace reader. The source must yield a stream consistent with p.
+func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error) {
+	if cfg.Width <= 0 || cfg.FTQSize <= 0 || cfg.ROBSize <= 0 || cfg.MaxInstructions <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive structural parameter in config")
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	}
+
+	var tage *bpu.TAGE
+	if cfg.UseTAGE {
+		tage = bpu.NewTAGE(bpu.DefaultTAGEConfig())
+	}
+	sim := &simulator{
+		p:        p,
+		cfg:      cfg,
+		src:      src,
+		scheme:   scheme,
+		tage:     tage,
+		dir:      bpu.NewDirectionPredictor(cfg.CondMispredictRate),
+		ras:      bpu.NewRAS(cfg.RASEntries),
+		ibtb:     bpu.NewIBTB(cfg.IBTBEntries, cfg.IBTBWays),
+		hier:     cache.NewHierarchy(cfg.Hierarchy),
+		ftq:      make([]float64, cfg.FTQSize),
+		rob:      make([]float64, cfg.ROBSize),
+		inflight: make(map[uint64]fill, 64),
+	}
+	scheme.Attach(sim)
+	sim.run()
+
+	// Assemble the measured window's statistics, subtracting whatever
+	// accumulated during warmup.
+	res := sim.res
+	w := &sim.warmSnap
+	res.Instructions -= w.Instructions
+	res.Original -= w.Original
+	res.InjectedExecuted -= w.InjectedExecuted
+	res.CoveredMisses -= w.CoveredMisses
+	res.LateCoveredMisses -= w.LateCoveredMisses
+	res.ICacheStallCycles -= w.ICacheStallCycles
+	res.BPUWaitCycles -= w.BPUWaitCycles
+	res.BTBResteers -= w.BTBResteers
+	res.CondMispredicts -= w.CondMispredicts
+	res.RASMispredicts -= w.RASMispredicts
+	res.IBTBMispredicts -= w.IBTBMispredicts
+	res.MissLeadSum -= w.MissLeadSum
+	res.Cycles -= sim.warmCycles
+
+	res.BTB = *scheme.Stats()
+	for k := range res.BTB.Accesses {
+		res.BTB.Accesses[k] -= sim.warmBTB.Accesses[k]
+		res.BTB.Misses[k] -= sim.warmBTB.Misses[k]
+	}
+	pf := scheme.PrefetchStats()
+	res.Prefetch = prefetcher.PrefetchStats{
+		Issued:    pf.Issued - sim.warmPf.Issued,
+		Used:      pf.Used - sim.warmPf.Used,
+		Late:      pf.Late - sim.warmPf.Late,
+		Redundant: pf.Redundant - sim.warmPf.Redundant,
+	}
+	res.ICacheAccesses = sim.hier.L1.Accesses - sim.warmL1Acc
+	res.ICacheMisses = sim.hier.L1.Misses - sim.warmL1Miss
+	return &res, nil
+}
+
+// fill records an in-flight cache-line prefetch.
+type fill struct {
+	issue, ready float64
+}
+
+// simulator carries the per-run state. It implements
+// prefetcher.Frontend for the scheme's callbacks.
+type simulator struct {
+	p      *program.Program
+	cfg    Config
+	src    exec.Source
+	scheme prefetcher.Scheme
+	dir    *bpu.DirectionPredictor
+	tage   *bpu.TAGE
+	ras    *bpu.RAS
+	ibtb   *bpu.IBTB
+	hier   *cache.Hierarchy
+
+	bpuC, fetchC, retireC float64
+
+	// ftq is a ring of the fetch completion times of in-flight
+	// branches; the BPU stalls on the oldest when full.
+	ftq             []float64
+	ftqHead, ftqLen int
+
+	// pendIssue, when >= 0, is the time a resteer discovered its
+	// redirect target: the fill for the target's line was issued then,
+	// overlapping the frontend refill penalty. Consumed by the first
+	// new-line access after the resteer.
+	pendIssue float64
+
+	// inflight maps prefetched lines to their fill issue/completion
+	// times, so a demand access racing a next-line prefetch pays only
+	// the remaining latency — and no more than FDIP's own prefetch of
+	// the same line (issued at the BPU clock) would have cost, since
+	// the MSHR merges requesters and the earliest issue wins.
+	inflight map[uint64]fill
+
+	// rob is a ring of retire completion times; fetch stalls on the
+	// oldest when the window is full.
+	rob             []float64
+	robHead, robLen int
+
+	lastLine uint64
+
+	res Result
+
+	// Warmup-boundary snapshots, subtracted from the final statistics.
+	warmSnap              Result
+	warmBTB               btb.Stats
+	warmPf                prefetcher.PrefetchStats
+	warmL1Acc, warmL1Miss int64
+	warmCycles            float64
+}
+
+// PrefetchLine implements prefetcher.Frontend: hardware schemes bring
+// lines toward L1i. The fill is modeled as instantaneous presence (the
+// prefetch latency is hidden by the scheme's own run-ahead); demand
+// accesses that race an in-flight prefetch are charged by the
+// FDIP-lead rule like any other access.
+func (s *simulator) PrefetchLine(line uint64, cycle float64) {
+	s.hier.Prefetch(line)
+}
+
+// Program implements prefetcher.Frontend.
+func (s *simulator) Program() *program.Program { return s.p }
+
+func (s *simulator) run() {
+	cfg := &s.cfg
+	p := s.p
+	slot := 1 / cfg.Width
+	var st exec.Step
+	s.lastLine = ^uint64(0)
+	s.pendIssue = -1
+
+	// Warmup: run the machine without counting. At the boundary,
+	// accumulated statistics are snapshotted and subtracted afterwards
+	// (structures keep their warmed state; only the numbers reset).
+	warmed := cfg.Warmup <= 0
+
+	hooks := cfg.Hooks
+	if !warmed {
+		hooks = Hooks{} // hooks observe only the measured window
+	}
+	total := cfg.Warmup + cfg.MaxInstructions
+	for s.res.Original < total {
+		if !warmed && s.res.Original >= cfg.Warmup {
+			warmed = true
+			hooks = cfg.Hooks
+			s.warmSnap = s.res
+			s.warmBTB = *s.scheme.Stats()
+			s.warmPf = s.scheme.PrefetchStats()
+			s.warmL1Acc, s.warmL1Miss = s.hier.L1.Accesses, s.hier.L1.Misses
+			s.warmCycles = s.retireC
+		}
+		s.src.Next(&st)
+		in := &p.Instrs[st.Idx]
+		injected := in.ID >= p.OriginalInstrs
+		s.res.Instructions++
+		if injected {
+			s.res.InjectedExecuted++
+		} else {
+			s.res.Original++
+		}
+
+		if hooks.OnBlockEnter != nil {
+			if blk := p.BlockOf[st.Idx]; p.Blocks[blk].First == st.Idx {
+				hooks.OnBlockEnter(p.Blocks[blk].ID)
+			}
+		}
+
+		kind := in.Kind
+		isBranch := kind.IsBranch()
+
+		// ---- BPU stage -------------------------------------------------
+		// The BPU emits one fetch region per cycle, and a region spans
+		// up to two fetch groups' worth of sequential instructions —
+		// the BPU outruns fetch on straight-line code (predictions need
+		// no instruction bytes), which is how FDIP rebuilds run-ahead
+		// after a resteer. Each predicted-taken branch ends a region
+		// (one redirect per cycle).
+		if st.Taken {
+			s.bpuC += 1
+		} else {
+			s.bpuC += slot / 2
+		}
+
+		var btbMissTaken bool
+		var lookupLate float64
+		if isBranch {
+			// FTQ occupancy: one entry per fetch region (taken branch).
+			// When full, the BPU waits for the oldest region to be
+			// consumed by fetch.
+			if st.Taken && s.ftqLen == len(s.ftq) {
+				if t := s.ftq[s.ftqHead]; t > s.bpuC {
+					s.bpuC = t
+				}
+				s.ftqHead = (s.ftqHead + 1) % len(s.ftq)
+				s.ftqLen--
+			}
+
+			res := s.scheme.Lookup(in.PC, kind, s.bpuC, st.Taken)
+			if res.FromPrefetch {
+				s.res.CoveredMisses++
+				if res.LateBy > 0 {
+					s.res.LateCoveredMisses++
+					lookupLate = res.LateBy
+				}
+			}
+			// Only direct-branch misses resteer from decode: returns
+			// and indirects are identified at predecode and redirected
+			// through the RAS / IBTB, whose own mispredicts pay the
+			// execute-time penalty below. This matches the paper's
+			// accounting, where only direct branches cause "real BTB
+			// misses" (Fig. 3).
+			if !res.Hit && st.Taken && kind.IsDirect() {
+				btbMissTaken = true
+			}
+		}
+
+		// ---- Fetch stage -----------------------------------------------
+		bpuTime := s.bpuC
+		fcost := slot
+		if st.Taken {
+			// A taken branch ends the fetch group: the fetch engine
+			// redirects and issues at most one region per cycle.
+			fcost = 1
+		}
+		fstart := s.fetchC + fcost
+		if bpuTime > fstart {
+			s.res.BPUWaitCycles += bpuTime - fstart
+			fstart = bpuTime
+		}
+		// ROB backpressure.
+		if s.robLen == len(s.rob) {
+			if t := s.rob[s.robHead]; t > fstart {
+				fstart = t
+			}
+			s.robHead = (s.robHead + 1) % len(s.rob)
+			s.robLen--
+		}
+		// A late prefetched BTB entry stalls the redirect briefly.
+		if lookupLate > 0 {
+			fstart += lookupLate
+			s.res.BPUWaitCycles += lookupLate
+		}
+
+		// I-cache: touch the line(s) this instruction occupies.
+		first := cache.LineOf(in.PC)
+		last := cache.LineOf(in.PC + uint64(in.Size) - 1)
+		for line := first; line <= last; line++ {
+			if line == s.lastLine {
+				continue
+			}
+			s.lastLine = line
+			if cfg.IdealICache {
+				s.scheme.OnFetchLine(line, fstart)
+				continue
+			}
+			lat := s.hier.Fetch(line)
+			if lat == 0 {
+				// Present in L1 — but possibly via a still-in-flight
+				// next-line prefetch: pay the remainder, capped by when
+				// FDIP's own request (issued at the BPU clock, or at the
+				// resteer discovery) would have completed.
+				if f, ok := s.inflight[line]; ok {
+					delete(s.inflight, line)
+					ready := f.ready
+					if cfg.FDIP {
+						issue := bpuTime
+						if s.pendIssue >= 0 && s.pendIssue < issue {
+							issue = s.pendIssue
+						}
+						if alt := issue + (f.ready - f.issue); alt < ready {
+							ready = alt
+						}
+					}
+					if ready > fstart {
+						s.res.ICacheStallCycles += ready - fstart
+						fstart = ready
+					}
+				}
+			}
+			if lat > 0 {
+				s.scheme.OnLineMiss(line, fstart)
+				s.res.MissLeadSum += fstart - bpuTime
+				exposed := lat
+				if cfg.FDIP {
+					// FDIP issued the prefetch when the BPU enqueued
+					// this instruction — or, right after a resteer, when
+					// the redirect target was discovered (the fill
+					// overlaps the frontend refill) — so only the
+					// uncovered remainder stalls fetch.
+					issue := bpuTime
+					if s.pendIssue >= 0 && s.pendIssue < issue {
+						issue = s.pendIssue
+					}
+					exposed = issue + lat - fstart
+				}
+				if exposed > 0 {
+					s.res.ICacheStallCycles += exposed
+					fstart += exposed
+				}
+			}
+			s.pendIssue = -1
+			s.scheme.OnFetchLine(line, fstart)
+			if cfg.NextLinePrefetch > 0 && !cfg.IdealICache {
+				// Sequential next-line prefetcher: issue fills for the
+				// following lines now; a demand access arriving before a
+				// fill completes pays only the remainder (inflight map).
+				for d := 1; d <= cfg.NextLinePrefetch; d++ {
+					nl := line + uint64(d)
+					if s.hier.L1.Probe(nl) {
+						continue
+					}
+					if _, ok := s.inflight[nl]; ok {
+						continue
+					}
+					if plat := s.hier.Prefetch(nl); plat > 0 {
+						if len(s.inflight) > 8192 {
+							// Prune completed fills that were never
+							// demanded, so the tracking map stays
+							// bounded on long runs.
+							for l, f := range s.inflight {
+								if f.ready < fstart {
+									delete(s.inflight, l)
+								}
+							}
+						}
+						s.inflight[nl] = fill{issue: fstart, ready: fstart + plat}
+					}
+				}
+			}
+		}
+		s.fetchC = fstart
+
+		if st.Taken && s.ftqLen < len(s.ftq) {
+			s.ftq[(s.ftqHead+s.ftqLen)%len(s.ftq)] = s.fetchC
+			s.ftqLen++
+		}
+
+		// ---- Resolution, training, and resteers --------------------------
+		var execMispredict bool
+		if isBranch {
+			var target uint64
+			switch kind {
+			case isa.KindCondBranch:
+				target = p.TargetPC(st.Idx)
+				var wrong bool
+				if s.tage != nil {
+					wrong = !s.tage.PredictAndUpdate(in.PC, st.Taken)
+				} else {
+					wrong = s.dir.Mispredicted(in.PC)
+				}
+				if wrong {
+					execMispredict = true
+					s.res.CondMispredicts++
+				}
+			case isa.KindJump, isa.KindCall:
+				target = p.TargetPC(st.Idx)
+			default:
+				// Indirect and return targets come from the executed path.
+				target = p.Instrs[st.NextIdx].PC
+			}
+			if kind.IsCallKind() {
+				s.ras.Push(in.NextPC())
+			}
+			switch kind {
+			case isa.KindReturn:
+				if !s.ras.PredictReturn(target) {
+					execMispredict = true
+					s.res.RASMispredicts++
+				}
+			case isa.KindIndirectJump, isa.KindIndirectCall:
+				if !s.ibtb.Predict(in.PC, target) {
+					execMispredict = true
+					s.res.IBTBMispredicts++
+				}
+			}
+
+			reso := prefetcher.Resolution{
+				PC: in.PC, Target: target, Kind: kind, Taken: st.Taken, Cycle: s.fetchC,
+			}
+			s.scheme.Resolve(&reso)
+
+			if btbMissTaken {
+				s.res.BTBResteers++
+				if kind.IsDirect() && hooks.OnBTBMiss != nil {
+					hooks.OnBTBMiss(st.Idx, s.fetchC)
+				}
+				if t := s.fetchC + cfg.DecodeResteer; t > s.bpuC {
+					s.bpuC = t
+				}
+				s.flushFTQ()
+				s.pendIssue = s.fetchC
+			}
+			if execMispredict {
+				if t := s.fetchC + cfg.ExecResteer; t > s.bpuC {
+					s.bpuC = t
+				}
+				s.flushFTQ()
+				s.pendIssue = s.fetchC
+			}
+
+			if st.Taken && hooks.OnTaken != nil {
+				hooks.OnTaken(st.Idx, st.NextIdx, s.fetchC)
+			}
+		}
+
+		// ---- Twig prefetch instructions ----------------------------------
+		// Prefetch entries become ready relative to the BPU clock, the
+		// same clock domain the demand lookup uses — the frontend can
+		// extract the prefetch's operands as soon as its fetch region
+		// enters the predecode path, so a site that precedes the miss
+		// by the prefetch distance in profile (fetch) time also
+		// precedes it at run time regardless of how far the BPU runs
+		// ahead. (The paper states the requirement as "retire before
+		// the lookup"; this is the equivalent point in our two-clock
+		// approximation.)
+		if kind == isa.KindBrPrefetch {
+			br := p.InstrByID(in.Target)
+			s.scheme.InsertPrefetch(br.PC, p.PCOf(br.Target), br.Kind, bpuTime+cfg.BrPrefetchLatency)
+		} else if kind == isa.KindBrCoalesce {
+			mask := p.CoalesceMasks[in.Aux]
+			ready := bpuTime + cfg.CoalesceLoadLatency
+			for b := 0; b < 64; b++ {
+				if mask&(1<<uint(b)) == 0 {
+					continue
+				}
+				slotIdx := int(in.Target) + b
+				if slotIdx >= len(p.CoalesceTable) {
+					break
+				}
+				pair := p.CoalesceTable[slotIdx]
+				br := p.InstrByID(pair.Branch)
+				s.scheme.InsertPrefetch(br.PC, p.PCOf(pair.Target), br.Kind, ready)
+			}
+		}
+
+		// ---- Retire ------------------------------------------------------
+		rc := s.retireC + cfg.BackendCPI
+		if t := s.fetchC + cfg.BackendDepth; t > rc {
+			rc = t
+		}
+		s.retireC = rc
+		if s.robLen < len(s.rob) {
+			s.rob[(s.robHead+s.robLen)%len(s.rob)] = rc
+			s.robLen++
+		}
+	}
+	s.res.Cycles = s.retireC
+}
+
+func (s *simulator) flushFTQ() {
+	s.ftqHead, s.ftqLen = 0, 0
+}

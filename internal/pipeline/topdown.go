@@ -1,0 +1,68 @@
+package pipeline
+
+import "math"
+
+// TopDown is the level-1 breakdown of Yasin's Top-Down methodology,
+// the metric the paper's Fig. 1 is measured with: every pipeline slot
+// of the window is attributed to exactly one of four categories.
+type TopDown struct {
+	// Retiring is the fraction of slots that delivered useful work.
+	Retiring float64
+	// FrontendBound is the fraction lost because the frontend could not
+	// supply instructions (BTB-miss resteers, exposed I-cache misses,
+	// BPU redirect bubbles).
+	FrontendBound float64
+	// BadSpeculation is the fraction lost to wrong-path recovery
+	// (direction, return-address and indirect-target mispredicts).
+	BadSpeculation float64
+	// BackendBound is the remainder: slots the frontend supplied but
+	// the backend could not absorb.
+	BackendBound float64
+}
+
+// TopDown derives the four-way breakdown from the run's counters.
+// width is the machine width the run was configured with, and
+// execResteer its mispredict penalty (pass the Config values).
+//
+// Attribution notes: the simulator does not execute wrong-path
+// instructions, so bad speculation is estimated as the mispredict
+// count times the execute-resteer penalty, capped by the measured
+// frontend starvation it is drawn from; BTB-miss resteers (BAClears)
+// stay frontend-bound, matching how real Top-Down counters classify
+// them.
+func (r *Result) TopDown(width, execResteer float64) TopDown {
+	if r.Cycles <= 0 || width <= 0 {
+		return TopDown{}
+	}
+	slots := r.Cycles * width
+	td := TopDown{
+		Retiring: float64(r.Instructions) / slots,
+	}
+	mispredicts := float64(r.CondMispredicts + r.RASMispredicts + r.IBTBMispredicts)
+	badSpecCycles := math.Min(r.BPUWaitCycles, mispredicts*execResteer)
+	frontendCycles := r.BPUWaitCycles - badSpecCycles + r.ICacheStallCycles
+
+	td.BadSpeculation = clamp01(badSpecCycles / r.Cycles)
+	td.FrontendBound = clamp01(frontendCycles / r.Cycles)
+	td.BackendBound = clamp01(1 - td.Retiring - td.BadSpeculation - td.FrontendBound)
+	// Normalize tiny overshoots from the approximation so the four
+	// fractions always partition 1.
+	sum := td.Retiring + td.FrontendBound + td.BadSpeculation + td.BackendBound
+	if sum > 0 {
+		td.Retiring /= sum
+		td.FrontendBound /= sum
+		td.BadSpeculation /= sum
+		td.BackendBound /= sum
+	}
+	return td
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

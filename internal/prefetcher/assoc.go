@@ -1,0 +1,126 @@
+package prefetcher
+
+import "twig/internal/isa"
+
+// assoc is a set-associative LRU table keyed by branch PC with the
+// per-entry metadata hardware BTB prefetchers need beyond the plain
+// btb.BTB: a "filled by prefetch, not yet used" flag for accuracy
+// accounting, and (for Shotgun's U-BTB) an 8-bit spatial footprint.
+//
+// Unlike btb.Config it permits non-power-of-two entry counts as long as
+// entries/ways is a power of two, which is how Shotgun's published
+// 5120-entry U-BTB (5-way × 1024 sets) and 1536-entry C-BTB (6-way ×
+// 256 sets) are realized here.
+type assoc struct {
+	setMask   uint64
+	ways      int
+	pcs       []uint64
+	targets   []uint64
+	kinds     []isa.Kind
+	stamp     []uint64
+	footprint []uint8
+	pref      []bool
+	clock     uint64
+}
+
+const assocInvalid = ^uint64(0)
+
+func newAssoc(entries, ways int) *assoc {
+	sets := entries / ways
+	if sets <= 0 || sets&(sets-1) != 0 || sets*ways != entries {
+		panic("prefetcher: assoc sets must be a positive power of two")
+	}
+	a := &assoc{
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		pcs:       make([]uint64, entries),
+		targets:   make([]uint64, entries),
+		kinds:     make([]isa.Kind, entries),
+		stamp:     make([]uint64, entries),
+		footprint: make([]uint8, entries),
+		pref:      make([]bool, entries),
+	}
+	for i := range a.pcs {
+		a.pcs[i] = assocInvalid
+	}
+	return a
+}
+
+// lookup returns the slot of pc or -1, updating recency on hit.
+func (a *assoc) lookup(pc uint64) int {
+	base := int(pc&a.setMask) * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.pcs[base+w] == pc {
+			a.clock++
+			a.stamp[base+w] = a.clock
+			return base + w
+		}
+	}
+	return -1
+}
+
+// probe returns the slot of pc or -1 without recency update.
+func (a *assoc) probe(pc uint64) int {
+	base := int(pc&a.setMask) * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.pcs[base+w] == pc {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// evicted describes an entry displaced by insert.
+type evicted struct {
+	pc, target uint64
+	kind       isa.Kind
+	valid      bool
+}
+
+// insert fills (or refreshes) an entry and returns its slot. The
+// displaced entry, if any, is available through insertEvict.
+func (a *assoc) insert(pc, target uint64, kind isa.Kind, prefetched bool) int {
+	slot, _ := a.insertEvict(pc, target, kind, prefetched)
+	return slot
+}
+
+// insertEvict is insert plus the victim's prior contents, for schemes
+// that virtualize evicted entries (Phantom-BTB).
+func (a *assoc) insertEvict(pc, target uint64, kind isa.Kind, prefetched bool) (int, evicted) {
+	base := int(pc&a.setMask) * a.ways
+	victim := base
+	for w := 0; w < a.ways; w++ {
+		if a.pcs[base+w] == pc {
+			victim = base + w
+			a.targets[victim] = target
+			a.kinds[victim] = kind
+			if !prefetched {
+				// Demand fill clears the flag; a prefetch refresh of an
+				// existing entry leaves its provenance unchanged.
+				a.pref[victim] = false
+			}
+			a.clock++
+			a.stamp[victim] = a.clock
+			return victim, evicted{}
+		}
+		if a.pcs[base+w] == assocInvalid {
+			victim = base + w
+			break
+		}
+		if a.stamp[base+w] < a.stamp[victim] {
+			victim = base + w
+		}
+	}
+	var ev evicted
+	if a.pcs[victim] != assocInvalid {
+		ev = evicted{pc: a.pcs[victim], target: a.targets[victim], kind: a.kinds[victim], valid: true}
+	}
+	a.clock++
+	a.pcs[victim] = pc
+	a.targets[victim] = target
+	a.kinds[victim] = kind
+	a.footprint[victim] = 0
+	a.pref[victim] = prefetched
+	a.stamp[victim] = a.clock
+	return victim, ev
+}

@@ -1,0 +1,113 @@
+package prefetcher
+
+import (
+	"twig/internal/btb"
+	"twig/internal/isa"
+)
+
+// Baseline is the conventional BTB organization: one set-associative
+// structure for all branch kinds, filled on resolution. With a non-zero
+// buffer size it also implements the architectural prefetch buffer that
+// Twig's brprefetch/brcoalesce instructions fill; a demand lookup that
+// misses the BTB but finds a ready entry in the buffer promotes it and
+// proceeds without a resteer. A plain FDIP baseline uses buffer size 0.
+type Baseline struct {
+	cfg    btb.Config
+	b      *btb.BTB
+	buf    *btb.PrefetchBuffer
+	stats  btb.Stats
+	threeC *btb.ThreeC
+	// redundant counts software prefetches dropped because the entry
+	// was already resident; kept outside PrefetchBuffer so the buffer's
+	// Issued reflects real insertions.
+	redundant int64
+}
+
+// NewBaseline builds the conventional scheme. bufEntries is the Twig
+// prefetch-buffer capacity (0 disables software prefetching support).
+// classify enables 3C miss classification (Fig. 4), which costs extra
+// work per access and is off for pure timing runs.
+func NewBaseline(cfg btb.Config, bufEntries int, classify bool) *Baseline {
+	s := &Baseline{
+		cfg: cfg,
+		b:   btb.New(cfg),
+		buf: btb.NewPrefetchBuffer(bufEntries),
+	}
+	if classify {
+		s.threeC = btb.NewThreeC(cfg.Entries)
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *Baseline) Name() string { return "baseline" }
+
+// Attach implements Scheme; the baseline needs no frontend services.
+func (s *Baseline) Attach(Frontend) {}
+
+// Lookup implements Scheme.
+func (s *Baseline) Lookup(pc uint64, kind isa.Kind, cycle float64, taken bool) LookupResult {
+	s.stats.Accesses[kind]++
+	_, hit := s.b.Lookup(pc)
+	if s.threeC != nil && kind.IsDirect() {
+		// Every access updates the shadow's recency; only real (taken)
+		// misses are classified. Prefetch promotions below still count
+		// as covered misses for the classifier, since the underlying
+		// BTB genuinely missed.
+		s.threeC.Record(pc, !hit && taken)
+	}
+	if hit {
+		return LookupResult{Hit: true}
+	}
+	if !taken {
+		return LookupResult{}
+	}
+	if e, ok, lateBy := s.buf.Lookup(pc, cycle); ok {
+		// Promote: the entry becomes demand-resident.
+		s.b.Insert(e.PC, e.Target, e.Kind)
+		return LookupResult{Hit: true, LateBy: lateBy, FromPrefetch: true}
+	}
+	s.stats.Misses[kind]++
+	return LookupResult{}
+}
+
+// Resolve implements Scheme: conventional BTBs fill on resolution.
+func (s *Baseline) Resolve(r *Resolution) {
+	s.b.Insert(r.PC, r.Target, r.Kind)
+}
+
+// OnFetchLine implements Scheme; unused.
+func (s *Baseline) OnFetchLine(uint64, float64) {}
+
+// OnLineMiss implements Scheme; unused.
+func (s *Baseline) OnLineMiss(uint64, float64) {}
+
+// InsertPrefetch implements Scheme: stage a software-prefetched entry.
+// Entries already demand-resident are dropped as redundant (they would
+// waste buffer space and distort accuracy accounting).
+func (s *Baseline) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) {
+	if s.b.Probe(pc) || s.buf.Contains(pc) {
+		s.redundant++
+		return
+	}
+	s.buf.Insert(pc, target, kind, ready)
+}
+
+// ProbeDemand implements Scheme.
+func (s *Baseline) ProbeDemand(pc uint64) bool { return s.b.Probe(pc) }
+
+// Stats implements Scheme.
+func (s *Baseline) Stats() *btb.Stats { return &s.stats }
+
+// PrefetchStats implements Scheme.
+func (s *Baseline) PrefetchStats() PrefetchStats {
+	return PrefetchStats{
+		Issued:    s.buf.Issued + s.redundant,
+		Used:      s.buf.Used,
+		Late:      s.buf.Late,
+		Redundant: s.redundant,
+	}
+}
+
+// ThreeC returns the 3C classifier, or nil when classification is off.
+func (s *Baseline) ThreeC() *btb.ThreeC { return s.threeC }

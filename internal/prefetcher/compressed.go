@@ -1,0 +1,198 @@
+package prefetcher
+
+import (
+	"twig/internal/btb"
+	"twig/internal/isa"
+)
+
+// CompressedConfig sizes a delta-compressed, partitioned BTB in the
+// style of BTB-X / PDede (the paper's §5: "Compressing BTB entry size
+// is common... encoding the branch target as a small delta from the
+// branch PC... partitioning the BTB into segments to enable aggressive
+// compression"). Partitions differ only in how many bits they spend on
+// the target delta, so short-range branches — the overwhelming
+// majority, per the paper's Fig. 15 — pack several times denser than
+// full-width entries.
+type CompressedConfig struct {
+	// BudgetBytes is the total storage, for apples-to-apples comparison
+	// with the conventional BTB (the 8K-entry baseline is ~75KB).
+	BudgetBytes int
+	// Partitions lists (delta width, budget share); shares must sum to
+	// ~1. Entries whose |target−pc| needs more bits than a partition
+	// offers go to the next wider one.
+	Partitions []CompressedPartition
+}
+
+// CompressedPartition is one delta-width class.
+type CompressedPartition struct {
+	// DeltaBits is the signed target-delta width (48 = uncompressed).
+	DeltaBits int
+	// Share is the fraction of the byte budget.
+	Share float64
+	// Ways is the associativity.
+	Ways int
+}
+
+// DefaultCompressedConfig mirrors BTB-X's spirit at the baseline's
+// budget: most storage in short-delta partitions.
+func DefaultCompressedConfig() CompressedConfig {
+	return CompressedConfig{
+		BudgetBytes: btb.DefaultConfig().StorageBytes(),
+		Partitions: []CompressedPartition{
+			{DeltaBits: 10, Share: 0.40, Ways: 4},
+			{DeltaBits: 16, Share: 0.35, Ways: 4},
+			{DeltaBits: 48, Share: 0.25, Ways: 4},
+		},
+	}
+}
+
+// entryBits is a partition's per-entry cost: a 16-bit partial tag (the
+// BTB-X/PDede compression also shortens tags, accepting rare aliases)
+// plus the delta field and ~4 bits of type/valid metadata.
+func (p CompressedPartition) entryBits() int { return 16 + p.DeltaBits + 4 }
+
+// entriesFor computes how many entries a partition's budget buys,
+// rounded down to a ways-aligned power-of-two set count, and returns
+// the leftover bytes so the caller can cascade them into the next
+// partition instead of wasting them on alignment.
+func (p CompressedPartition) entriesFor(budget float64) (entries int, leftover float64) {
+	bits := p.entryBits()
+	n := int(budget * 8 / float64(bits))
+	sets := 1
+	for sets*2*p.Ways <= n {
+		sets *= 2
+	}
+	entries = sets * p.Ways
+	leftover = budget - float64(entries*bits)/8
+	if leftover < 0 {
+		leftover = 0
+	}
+	return entries, leftover
+}
+
+// Compressed is the partitioned delta-compressed BTB as a Scheme. It
+// composes with Twig's prefetch buffer exactly like the conventional
+// baseline — the ext-compressed experiment validates the paper's claim
+// that Twig is independent of the underlying BTB organization.
+type Compressed struct {
+	cfg    CompressedConfig
+	parts  []*assoc
+	bits   []int
+	buf    *btb.PrefetchBuffer
+	stats  btb.Stats
+	redund int64
+}
+
+// NewCompressed builds the scheme; bufEntries sizes the Twig prefetch
+// buffer (0 = none).
+func NewCompressed(cfg CompressedConfig, bufEntries int) *Compressed {
+	c := &Compressed{cfg: cfg, buf: btb.NewPrefetchBuffer(bufEntries)}
+	carry := 0.0
+	for _, part := range cfg.Partitions {
+		n, leftover := part.entriesFor(float64(cfg.BudgetBytes)*part.Share + carry)
+		carry = leftover
+		c.parts = append(c.parts, newAssoc(n, part.Ways))
+		c.bits = append(c.bits, part.DeltaBits)
+	}
+	return c
+}
+
+// TotalEntries reports the effective capacity bought by compression.
+func (c *Compressed) TotalEntries() int {
+	n := 0
+	for _, p := range c.parts {
+		n += len(p.pcs)
+	}
+	return n
+}
+
+// Name implements Scheme.
+func (c *Compressed) Name() string { return "compressed" }
+
+// Attach implements Scheme.
+func (c *Compressed) Attach(Frontend) {}
+
+// partitionFor returns the narrowest partition whose delta width fits
+// the branch's target distance.
+func (c *Compressed) partitionFor(pc, target uint64) int {
+	delta := int64(target) - int64(pc)
+	for i, bits := range c.bits {
+		if isa.FitsSigned(delta, bits) {
+			return i
+		}
+	}
+	return len(c.parts) - 1
+}
+
+// Lookup implements Scheme: probe every partition (hardware reads them
+// in parallel), then the prefetch buffer.
+func (c *Compressed) Lookup(pc uint64, kind isa.Kind, cycle float64, taken bool) LookupResult {
+	c.stats.Accesses[kind]++
+	for _, part := range c.parts {
+		if slot := part.lookup(pc); slot >= 0 {
+			res := LookupResult{Hit: true}
+			if part.pref[slot] {
+				part.pref[slot] = false
+				res.FromPrefetch = true
+			}
+			return res
+		}
+	}
+	if !taken {
+		return LookupResult{}
+	}
+	if e, ok, lateBy := c.buf.Lookup(pc, cycle); ok {
+		c.insert(e.PC, e.Target, e.Kind, true)
+		return LookupResult{Hit: true, LateBy: lateBy, FromPrefetch: true}
+	}
+	c.stats.Misses[kind]++
+	return LookupResult{}
+}
+
+func (c *Compressed) insert(pc, target uint64, kind isa.Kind, prefetched bool) {
+	c.parts[c.partitionFor(pc, target)].insert(pc, target, kind, prefetched)
+}
+
+// Resolve implements Scheme.
+func (c *Compressed) Resolve(r *Resolution) {
+	c.insert(r.PC, r.Target, r.Kind, false)
+}
+
+// OnFetchLine implements Scheme; unused.
+func (c *Compressed) OnFetchLine(uint64, float64) {}
+
+// OnLineMiss implements Scheme; unused.
+func (c *Compressed) OnLineMiss(uint64, float64) {}
+
+// InsertPrefetch implements Scheme: the Twig runtime feeds the buffer
+// exactly as with the conventional baseline.
+func (c *Compressed) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) {
+	if c.ProbeDemand(pc) || c.buf.Contains(pc) {
+		c.redund++
+		return
+	}
+	c.buf.Insert(pc, target, kind, ready)
+}
+
+// ProbeDemand implements Scheme.
+func (c *Compressed) ProbeDemand(pc uint64) bool {
+	for _, part := range c.parts {
+		if part.probe(pc) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats implements Scheme.
+func (c *Compressed) Stats() *btb.Stats { return &c.stats }
+
+// PrefetchStats implements Scheme.
+func (c *Compressed) PrefetchStats() PrefetchStats {
+	return PrefetchStats{
+		Issued:    c.buf.Issued + c.redund,
+		Used:      c.buf.Used,
+		Late:      c.buf.Late,
+		Redundant: c.redund,
+	}
+}

@@ -1,0 +1,208 @@
+package prefetcher
+
+import (
+	"testing"
+
+	"twig/internal/btb"
+	"twig/internal/cache"
+	"twig/internal/isa"
+)
+
+func TestBoomerangPredecodeIsOneLineBehind(t *testing.T) {
+	p := lineProgram(t)
+	fe := &fakeFrontend{p: p}
+	s := NewBoomerang(btb.DefaultConfig())
+	s.Attach(fe)
+
+	cond := p.Instrs[1] // the conditional in the entry line
+	entryLine := cache.LineOf(p.BaseAddr)
+
+	// Fetching the conditional's own line must NOT make it visible yet
+	// (predecode completes after the line passes decode).
+	s.OnFetchLine(entryLine, 1)
+	if s.Lookup(cond.PC, isa.KindCondBranch, 2, true).Hit {
+		t.Fatal("same-line predecode satisfied an in-flight lookup")
+	}
+	// Once fetch moves on, the previous line's branches are filled.
+	s.OnFetchLine(entryLine+1, 3)
+	res := s.Lookup(cond.PC, isa.KindCondBranch, 4, true)
+	if !res.Hit || !res.FromPrefetch {
+		t.Fatalf("predecoded conditional lookup = %+v", res)
+	}
+	if s.PrefetchStats().Used != 1 || s.PrefetchStats().Issued == 0 {
+		t.Fatalf("prefetch stats %+v", s.PrefetchStats())
+	}
+}
+
+func TestBoomerangDemandFill(t *testing.T) {
+	s := NewBoomerang(btb.DefaultConfig())
+	s.Attach(&fakeFrontend{p: lineProgram(t)})
+	s.Resolve(&Resolution{PC: 0x9000, Target: 0xA000, Kind: isa.KindJump, Taken: true})
+	if !s.Lookup(0x9000, isa.KindJump, 0, true).Hit {
+		t.Fatal("resolved branch missed")
+	}
+}
+
+func TestBulkPreloadSecondLevel(t *testing.T) {
+	p := lineProgram(t)
+	cfg := DefaultBulkPreloadConfig()
+	cfg.L1 = btb.Config{Entries: 4, Ways: 2} // tiny L1 so entries fall to L2
+	s := NewBulkPreload(cfg)
+	s.Attach(&fakeFrontend{p: p})
+
+	// Resolve many branches so the small L1 thrashes but L2 retains.
+	cond := p.Instrs[1]
+	s.Resolve(&Resolution{PC: cond.PC, Target: p.TargetPC(1), Kind: isa.KindCondBranch, Taken: true})
+	for i := 0; i < 16; i++ {
+		pc := uint64(0x800000 + i*64)
+		s.Resolve(&Resolution{PC: pc, Target: pc + 4, Kind: isa.KindJump, Taken: true})
+	}
+	if s.l1.probe(cond.PC) >= 0 {
+		t.Skip("L1 retained the entry; cannot exercise the L2 path with this layout")
+	}
+	res := s.Lookup(cond.PC, isa.KindCondBranch, 100, true)
+	if !res.Hit || !res.FromPrefetch || res.LateBy != cfg.PreloadLatency {
+		t.Fatalf("L2 bulk-preload lookup = %+v", res)
+	}
+	// A true miss (never resolved) still misses.
+	if s.Lookup(0xF00000, isa.KindJump, 101, true).Hit {
+		t.Fatal("never-seen branch hit")
+	}
+	if s.Stats().Misses[isa.KindJump] != 1 {
+		t.Fatal("true miss not counted")
+	}
+}
+
+func TestBulkPreloadRegionFill(t *testing.T) {
+	p := lineProgram(t)
+	cfg := DefaultBulkPreloadConfig()
+	cfg.L1 = btb.Config{Entries: 4, Ways: 2}
+	s := NewBulkPreload(cfg)
+	s.Attach(&fakeFrontend{p: p})
+
+	// Resolve both branches of the program (they are within one region
+	// of each other if the layout is small).
+	var dirIdx []int32
+	for i := range p.Instrs {
+		if p.Instrs[i].Kind.IsDirect() {
+			dirIdx = append(dirIdx, int32(i))
+		}
+	}
+	for _, idx := range dirIdx {
+		s.Resolve(&Resolution{PC: p.Instrs[idx].PC, Target: p.TargetPC(idx), Kind: p.Instrs[idx].Kind, Taken: true})
+	}
+	// Thrash L1.
+	for i := 0; i < 16; i++ {
+		pc := uint64(0x800000 + i*64)
+		s.Resolve(&Resolution{PC: pc, Target: pc + 4, Kind: isa.KindJump, Taken: true})
+	}
+	// An L2 hit preloads the whole region: the second branch should now
+	// be L1-resident (prefetched) if it shares the 256B region.
+	first := p.Instrs[dirIdx[0]]
+	s.Lookup(first.PC, first.Kind, 0, true)
+	second := p.Instrs[dirIdx[1]]
+	if first.PC&^255 == second.PC&^255 {
+		if s.l1.probe(second.PC) < 0 {
+			t.Fatal("region neighbour not preloaded")
+		}
+	}
+}
+
+func TestCompressedPartitionRouting(t *testing.T) {
+	c := NewCompressed(DefaultCompressedConfig(), 0)
+	// Short-delta branch lands in partition 0.
+	c.Resolve(&Resolution{PC: 0x400000, Target: 0x400100, Kind: isa.KindJump, Taken: true})
+	if c.parts[0].probe(0x400000) < 0 {
+		t.Fatal("short-delta entry not in the narrow partition")
+	}
+	// Huge-delta branch lands in the full-width partition.
+	c.Resolve(&Resolution{PC: 0x400000 + 64, Target: 0x40000000, Kind: isa.KindCall, Taken: true})
+	last := len(c.parts) - 1
+	if c.parts[last].probe(0x400000+64) < 0 {
+		t.Fatal("long-delta entry not in the full-width partition")
+	}
+	if !c.Lookup(0x400000, isa.KindJump, 0, true).Hit {
+		t.Fatal("lookup across partitions failed")
+	}
+}
+
+func TestCompressedDensityBeatsBaseline(t *testing.T) {
+	c := NewCompressed(DefaultCompressedConfig(), 0)
+	if c.TotalEntries() <= btb.DefaultConfig().Entries {
+		t.Fatalf("compressed BTB holds %d entries, want > %d at equal budget",
+			c.TotalEntries(), btb.DefaultConfig().Entries)
+	}
+}
+
+func TestCompressedPrefetchBuffer(t *testing.T) {
+	c := NewCompressed(DefaultCompressedConfig(), 8)
+	c.InsertPrefetch(0x500000, 0x500100, isa.KindJump, 5)
+	res := c.Lookup(0x500000, isa.KindJump, 10, true)
+	if !res.Hit || !res.FromPrefetch {
+		t.Fatalf("buffered lookup = %+v", res)
+	}
+	if !c.ProbeDemand(0x500000) {
+		t.Fatal("prefetched entry not promoted")
+	}
+	// Redundant insert.
+	c.InsertPrefetch(0x500000, 0x500100, isa.KindJump, 6)
+	if c.PrefetchStats().Redundant != 1 {
+		t.Fatal("redundant prefetch not counted")
+	}
+}
+
+func TestPhantomGroupFormationAndReplay(t *testing.T) {
+	cfg := DefaultPhantomConfig()
+	cfg.BTB = btb.Config{Entries: 4, Ways: 2}
+	cfg.GroupSize = 2
+	s := NewPhantom(cfg)
+	s.Attach(&fakeFrontend{p: lineProgram(t)})
+
+	// First occurrence: trigger miss at T, then two resolutions form
+	// the group for T.
+	trigger := uint64(0x1000)
+	if s.Lookup(trigger, isa.KindJump, 0, true).Hit {
+		t.Fatal("cold trigger hit")
+	}
+	s.Resolve(&Resolution{PC: 0x2000, Target: 0x2100, Kind: isa.KindJump, Taken: true})
+	s.Resolve(&Resolution{PC: 0x3000, Target: 0x3100, Kind: isa.KindCall, Taken: true})
+
+	// Evict everything from the tiny BTB so the group's entries miss.
+	for i := 0; i < 8; i++ {
+		pc := uint64(0x9000 + i*2)
+		s.Resolve(&Resolution{PC: pc, Target: pc + 8, Kind: isa.KindJump, Taken: true})
+	}
+
+	// Second occurrence of the trigger: the group is fetched from L2.
+	if s.Lookup(trigger, isa.KindJump, 100, true).Hit {
+		t.Fatal("trigger should still miss (it is the trigger, not the payload)")
+	}
+	if s.PrefetchStats().Issued == 0 {
+		t.Fatal("group fetch issued nothing")
+	}
+	// The group entries become usable after the L2 latency.
+	res := s.Lookup(0x2000, isa.KindJump, 100+cfg.FetchLatency+1, true)
+	if !res.Hit || !res.FromPrefetch {
+		t.Fatalf("group entry lookup = %+v", res)
+	}
+	if s.PrefetchStats().Used == 0 {
+		t.Fatal("used prefetch not counted")
+	}
+}
+
+func TestPhantomVirtualBudget(t *testing.T) {
+	cfg := DefaultPhantomConfig()
+	cfg.BTB = btb.Config{Entries: 4, Ways: 2}
+	cfg.GroupSize = 1
+	cfg.VirtualGroups = 2
+	s := NewPhantom(cfg)
+	s.Attach(&fakeFrontend{p: lineProgram(t)})
+	for i := 0; i < 6; i++ {
+		trigger := uint64(0x1000 + i*2)
+		s.Lookup(trigger, isa.KindJump, float64(i*10), true)
+		s.Resolve(&Resolution{PC: uint64(0x5000 + i*2), Target: 0x42, Kind: isa.KindJump, Taken: true})
+	}
+	if len(s.groups) > 2 {
+		t.Fatalf("virtual store holds %d groups, budget 2", len(s.groups))
+	}
+}

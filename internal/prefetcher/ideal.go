@@ -1,0 +1,50 @@
+package prefetcher
+
+import (
+	"twig/internal/btb"
+	"twig/internal/isa"
+)
+
+// Ideal is the paper's ideal-BTB limit configuration (§2.1, Fig. 2):
+// every branch target lookup hits, so the frontend never resteers on an
+// unknown branch. Accesses are still counted so access-mix figures can
+// be produced from ideal runs too.
+type Ideal struct {
+	stats btb.Stats
+}
+
+// NewIdeal returns the ideal scheme.
+func NewIdeal() *Ideal { return &Ideal{} }
+
+// Name implements Scheme.
+func (s *Ideal) Name() string { return "ideal" }
+
+// Attach implements Scheme.
+func (s *Ideal) Attach(Frontend) {}
+
+// Lookup implements Scheme: always a hit.
+func (s *Ideal) Lookup(pc uint64, kind isa.Kind, cycle float64, taken bool) LookupResult {
+	s.stats.Accesses[kind]++
+	return LookupResult{Hit: true}
+}
+
+// Resolve implements Scheme; nothing to fill.
+func (s *Ideal) Resolve(*Resolution) {}
+
+// OnFetchLine implements Scheme; unused.
+func (s *Ideal) OnFetchLine(uint64, float64) {}
+
+// OnLineMiss implements Scheme; unused.
+func (s *Ideal) OnLineMiss(uint64, float64) {}
+
+// InsertPrefetch implements Scheme; prefetching an ideal BTB is a no-op.
+func (s *Ideal) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+
+// ProbeDemand implements Scheme.
+func (s *Ideal) ProbeDemand(uint64) bool { return true }
+
+// Stats implements Scheme.
+func (s *Ideal) Stats() *btb.Stats { return &s.stats }
+
+// PrefetchStats implements Scheme.
+func (s *Ideal) PrefetchStats() PrefetchStats { return PrefetchStats{} }

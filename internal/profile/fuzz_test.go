@@ -1,0 +1,36 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the profile decoder: it must reject
+// or decode, never panic or over-allocate (the implausibility caps).
+func FuzzLoad(f *testing.F) {
+	// Seed with a real profile and mutations.
+	p := loopProgram(f)
+	prof, _ := collect(f, p, 1, 5_000)
+	var valid bytes.Buffer
+	if err := prof.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/3])
+	f.Add([]byte(profileMagic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded profile must be structurally sane.
+		for _, s := range got.Samples {
+			if len(s.History) > LBRDepth {
+				t.Fatal("history exceeds LBR depth")
+			}
+		}
+	})
+}

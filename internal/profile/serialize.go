@@ -1,0 +1,223 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Profile serialization: in the paper's deployment, profiles are
+// collected on production machines (perf + LBR) and consumed later by
+// an offline optimizer at link time. Save/Load provide that decoupling
+// here: a compact, versioned binary format (varint-delta encoded) so
+// profiles can be written once and analyzed under many configurations.
+//
+// Format (all varints unless noted):
+//
+//	magic        "TWIGPRF1"
+//	instructions uvarint
+//	blockExecs   uvarint count, then count uvarints
+//	missCounts   uvarint count, then count x (uvarint branchID-delta,
+//	             uvarint misses) sorted by branch ID
+//	samples      uvarint count, then per sample:
+//	             uvarint branchID, float64-bits missCycle,
+//	             uvarint histLen, histLen x (uvarint from, uvarint to,
+//	             float64-bits cycleDelta-from-miss)
+
+const profileMagic = "TWIGPRF1"
+
+// Save writes the profile to w.
+func (p *Profile) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(profileMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putF := func(f float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		_, err := bw.Write(b[:])
+		return err
+	}
+
+	if err := put(uint64(p.Instructions)); err != nil {
+		return err
+	}
+	if err := put(uint64(len(p.BlockExecs))); err != nil {
+		return err
+	}
+	for _, c := range p.BlockExecs {
+		if err := put(uint64(c)); err != nil {
+			return err
+		}
+	}
+
+	branches := make([]int32, 0, len(p.MissCounts))
+	for b := range p.MissCounts {
+		branches = append(branches, b)
+	}
+	sort.Slice(branches, func(i, j int) bool { return branches[i] < branches[j] })
+	if err := put(uint64(len(branches))); err != nil {
+		return err
+	}
+	prev := int32(0)
+	for _, b := range branches {
+		if err := put(uint64(b - prev)); err != nil {
+			return err
+		}
+		prev = b
+		if err := put(uint64(p.MissCounts[b])); err != nil {
+			return err
+		}
+	}
+
+	if err := put(uint64(len(p.Samples))); err != nil {
+		return err
+	}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if err := put(uint64(s.Branch)); err != nil {
+			return err
+		}
+		if err := putF(s.MissCycle); err != nil {
+			return err
+		}
+		if err := put(uint64(len(s.History))); err != nil {
+			return err
+		}
+		for _, rec := range s.History {
+			if err := put(uint64(rec.FromBlock)); err != nil {
+				return err
+			}
+			if err := put(uint64(rec.ToBlock)); err != nil {
+				return err
+			}
+			if err := putF(s.MissCycle - rec.Cycle); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a profile written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(profileMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("profile: reading magic: %w", err)
+	}
+	if string(head) != profileMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", head)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getF := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+
+	p := &Profile{MissCounts: map[int32]int64{}}
+	v, err := get()
+	if err != nil {
+		return nil, err
+	}
+	p.Instructions = int64(v)
+
+	nBlocks, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible block count %d", nBlocks)
+	}
+	p.BlockExecs = make([]int64, nBlocks)
+	for i := range p.BlockExecs {
+		c, err := get()
+		if err != nil {
+			return nil, err
+		}
+		p.BlockExecs[i] = int64(c)
+	}
+
+	nMiss, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nMiss > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible miss-branch count %d", nMiss)
+	}
+	prev := int32(0)
+	for i := uint64(0); i < nMiss; i++ {
+		d, err := get()
+		if err != nil {
+			return nil, err
+		}
+		branch := prev + int32(d)
+		prev = branch
+		c, err := get()
+		if err != nil {
+			return nil, err
+		}
+		p.MissCounts[branch] = int64(c)
+	}
+
+	nSamples, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nSamples > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible sample count %d", nSamples)
+	}
+	p.Samples = make([]Sample, 0, nSamples)
+	for i := uint64(0); i < nSamples; i++ {
+		var s Sample
+		b, err := get()
+		if err != nil {
+			return nil, err
+		}
+		s.Branch = int32(b)
+		if s.MissCycle, err = getF(); err != nil {
+			return nil, err
+		}
+		hl, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if hl > LBRDepth {
+			return nil, fmt.Errorf("profile: history length %d exceeds LBR depth", hl)
+		}
+		s.History = make([]Record, hl)
+		for j := range s.History {
+			f, err := get()
+			if err != nil {
+				return nil, err
+			}
+			to, err := get()
+			if err != nil {
+				return nil, err
+			}
+			delta, err := getF()
+			if err != nil {
+				return nil, err
+			}
+			s.History[j] = Record{
+				FromBlock: int32(f),
+				ToBlock:   int32(to),
+				Cycle:     s.MissCycle - delta,
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}

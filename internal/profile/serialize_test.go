@@ -1,0 +1,96 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := loopProgram(t)
+	prof, _ := collect(t, p, 1, 30_000)
+
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Instructions != prof.Instructions {
+		t.Fatal("instructions differ")
+	}
+	if len(got.BlockExecs) != len(prof.BlockExecs) {
+		t.Fatal("block exec table size differs")
+	}
+	for i := range prof.BlockExecs {
+		if got.BlockExecs[i] != prof.BlockExecs[i] {
+			t.Fatalf("BlockExecs[%d] differs", i)
+		}
+	}
+	if len(got.MissCounts) != len(prof.MissCounts) {
+		t.Fatal("miss count map size differs")
+	}
+	for b, c := range prof.MissCounts {
+		if got.MissCounts[b] != c {
+			t.Fatalf("MissCounts[%d] differs", b)
+		}
+	}
+	if len(got.Samples) != len(prof.Samples) {
+		t.Fatal("sample count differs")
+	}
+	for i := range prof.Samples {
+		a, b := &prof.Samples[i], &got.Samples[i]
+		if a.Branch != b.Branch || a.MissCycle != b.MissCycle || len(a.History) != len(b.History) {
+			t.Fatalf("sample %d header differs", i)
+		}
+		for j := range a.History {
+			ra, rb := a.History[j], b.History[j]
+			if ra.FromBlock != rb.FromBlock || ra.ToBlock != rb.ToBlock {
+				t.Fatalf("sample %d record %d blocks differ", i, j)
+			}
+			if math.Abs(ra.Cycle-rb.Cycle) > 1e-9 {
+				t.Fatalf("sample %d record %d cycle differs: %f vs %f", i, j, ra.Cycle, rb.Cycle)
+			}
+		}
+	}
+}
+
+func TestProfileLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTAPROFILE..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated valid prefix.
+	p := loopProgram(t)
+	prof, _ := collect(t, p, 1, 5_000)
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated profile accepted")
+	}
+}
+
+func TestSavedProfileDrivesAnalysis(t *testing.T) {
+	// A saved+loaded profile must be usable by the analysis exactly like
+	// the in-memory one — verified indirectly by comparing field
+	// equality above; here check compactness too.
+	p := loopProgram(t)
+	prof, _ := collect(t, p, 1, 30_000)
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perSample := float64(buf.Len()) / float64(len(prof.Samples)+1)
+	// 32 records x ~(2 varints + 8B float) plus header: generous cap.
+	if perSample > 1024 {
+		t.Fatalf("serialized profile uses %.0f bytes/sample", perSample)
+	}
+}

@@ -1,0 +1,118 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReorderFunctions produces a new Program whose functions are laid out
+// in the given order — the core transformation of layout-PGO tools
+// (Pettis-Hansen, BOLT, AsmDB) that the paper's §5 groups under
+// "software techniques" for I-cache misses. Stable instruction IDs are
+// preserved, so profiles and injection plans referencing the original
+// binary keep working, and the relinked program revalidates.
+//
+// order lists function indexes; it must be a permutation of
+// 0..len(Funcs)-1. The receiver must be un-injected (reorder first,
+// inject after, as a real pipeline would).
+func (p *Program) ReorderFunctions(order []int32) (*Program, error) {
+	if p.OriginalInstrs != int32(len(p.Instrs)) {
+		return nil, fmt.Errorf("program: ReorderFunctions on an injected program")
+	}
+	if len(order) != len(p.Funcs) {
+		return nil, fmt.Errorf("program: order has %d entries, want %d", len(order), len(p.Funcs))
+	}
+	seen := make([]bool, len(p.Funcs))
+	for _, fi := range order {
+		if fi < 0 || int(fi) >= len(p.Funcs) || seen[fi] {
+			return nil, fmt.Errorf("program: order is not a permutation (function %d)", fi)
+		}
+		seen[fi] = true
+	}
+
+	q := &Program{
+		BaseAddr:       p.BaseAddr,
+		OriginalInstrs: p.OriginalInstrs,
+		Instrs:         make([]Instr, 0, len(p.Instrs)),
+		Blocks:         make([]Block, 0, len(p.Blocks)),
+		BlockOf:        make([]int32, 0, len(p.Instrs)),
+		Funcs:          make([]Func, len(p.Funcs)),
+		IndirectSets:   p.IndirectSets, // target IDs are stable
+		CoalesceTable:  p.CoalesceTable,
+		CoalesceMasks:  p.CoalesceMasks,
+	}
+	q.idToIdx = make([]int32, len(p.idToIdx))
+
+	pc := p.BaseAddr
+	for _, fi := range order {
+		f := p.Funcs[fi]
+		firstBlock := int32(len(q.Blocks))
+		for bi := f.FirstBlock; bi <= f.LastBlock; bi++ {
+			blk := p.Blocks[bi]
+			first := int32(len(q.Instrs))
+			for i := blk.First; i <= blk.Last; i++ {
+				in := p.Instrs[i]
+				in.PC = pc
+				pc += uint64(in.Size)
+				q.idToIdx[in.ID] = int32(len(q.Instrs))
+				q.BlockOf = append(q.BlockOf, int32(len(q.Blocks)))
+				q.Instrs = append(q.Instrs, in)
+			}
+			q.Blocks = append(q.Blocks, Block{
+				First: first,
+				Last:  int32(len(q.Instrs)) - 1,
+				Func:  fi,
+				ID:    blk.ID,
+			})
+		}
+		q.Funcs[fi] = Func{
+			FirstBlock: firstBlock,
+			LastBlock:  int32(len(q.Blocks)) - 1,
+			Entry:      q.Blocks[firstBlock].First,
+		}
+	}
+
+	q.finish()
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("program: reorder produced invalid program: %w", err)
+	}
+	return q, nil
+}
+
+// HotFunctionOrder computes a layout-PGO function order from per-block
+// execution counts (indexed by stable block ID): functions sorted by
+// descending heat *class* (log2 of execution count), stably, so the hot
+// working set packs together while callers and callees of similar heat
+// keep their original adjacency — a Pettis-Hansen-style approximation
+// without the full call-graph clustering. The entry function
+// (dispatcher) stays first.
+func (p *Program) HotFunctionOrder(blockExecs []int64) []int32 {
+	heat := make([]int64, len(p.Funcs))
+	for bi := range p.Blocks {
+		blk := &p.Blocks[bi]
+		if int(blk.ID) < len(blockExecs) {
+			heat[blk.Func] += blockExecs[blk.ID]
+		}
+	}
+	class := func(f int32) int {
+		h := heat[f]
+		c := 0
+		for h > 0 {
+			c++
+			h >>= 1
+		}
+		return c
+	}
+	order := make([]int32, len(p.Funcs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := order[a], order[b]
+		if fa == 0 || fb == 0 {
+			return fa == 0 // keep the dispatcher first
+		}
+		return class(fa) > class(fb)
+	})
+	return order
+}

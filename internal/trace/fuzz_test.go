@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"twig/internal/exec"
+	"twig/internal/workload"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic and never yield out-of-range indexes, regardless of input.
+// `go test` exercises the seed corpus; `go test -fuzz=FuzzReader` keeps
+// exploring.
+func FuzzReader(f *testing.F) {
+	params := workload.MustParams(workload.Kafka)
+	params.Scale = 0.02
+	p, err := workload.Build(params)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with a valid trace prefix and a few mutations.
+	var valid bytes.Buffer
+	if err := Record(&valid, p, params.Input(0), 2000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data), p)
+		if err != nil {
+			return // rejected: fine
+		}
+		var st exec.Step
+		for i := 0; i < 5000; i++ {
+			rd.Next(&st)
+			if st.Idx < 0 || int(st.Idx) >= len(p.Instrs) {
+				t.Fatalf("index %d out of range", st.Idx)
+			}
+			if st.NextIdx < 0 || int(st.NextIdx) >= len(p.Instrs) {
+				t.Fatalf("next index %d out of range", st.NextIdx)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"twig/internal/btb"
+	"twig/internal/pipeline"
+	"twig/internal/prefetcher"
+	"twig/internal/trace"
+	"twig/internal/workload"
+)
+
+// TestTraceDrivenMatchesExecutionDriven is the core property of the
+// trace mode: replaying a recorded stream through the simulator must
+// produce bit-identical timing and BTB statistics to running the
+// executor live — the two Scarab modes agree.
+func TestTraceDrivenMatchesExecutionDriven(t *testing.T) {
+	params := workload.MustParams(workload.Tomcat)
+	params.Scale = 0.03
+	p, err := workload.Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := params.Input(0)
+	const n = 150_000
+
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = n
+	cfg.BackendCPI = params.BackendCPI
+	cfg.CondMispredictRate = params.CondMispredictRate
+	cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	live, err := pipeline.Run(p, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.Record(&buf, p, in, n); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	replay, err := pipeline.RunSource(p, rd, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Cycles != replay.Cycles {
+		t.Fatalf("cycles diverge: live %.0f, trace %.0f", live.Cycles, replay.Cycles)
+	}
+	if live.BTB != replay.BTB {
+		t.Fatalf("BTB stats diverge:\nlive   %+v\nreplay %+v", live.BTB, replay.BTB)
+	}
+	if live.ICacheMisses != replay.ICacheMisses {
+		t.Fatal("I-cache behaviour diverges")
+	}
+	if live.CondMispredicts != replay.CondMispredicts {
+		t.Fatal("mispredict events diverge")
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"twig/internal/exec"
+	"twig/internal/workload"
+)
+
+func buildApp(t *testing.T) (*workload.Params, *exec.Input) {
+	t.Helper()
+	params := workload.MustParams(workload.Kafka)
+	params.Scale = 0.03
+	in := params.Input(0)
+	return &params, &in
+}
+
+func TestRoundTripExact(t *testing.T) {
+	params, in := buildApp(t)
+	p, err := workload.Build(*params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	var buf bytes.Buffer
+	if err := Record(&buf, p, *in, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must match the executor step for step.
+	ex, _ := exec.New(p, *in)
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got exec.Step
+	for i := 0; i < n; i++ {
+		ex.Next(&want)
+		rd.Next(&got)
+		if want != got {
+			t.Fatalf("step %d: replay %+v, live %+v", i, got, want)
+		}
+	}
+	if rd.Steps() != n {
+		t.Fatalf("replayed %d steps, want %d", rd.Steps(), n)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	params, in := buildApp(t)
+	p, err := workload.Build(*params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	var buf bytes.Buffer
+	if err := Record(&buf, p, *in, n); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	if perInstr > 1.0 {
+		t.Fatalf("trace uses %.2f bytes/instruction, want < 1", perInstr)
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	params, in := buildApp(t)
+	p, err := workload.Build(*params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, p, *in, 1000); err != nil {
+		t.Fatal(err)
+	}
+	other := workload.MustParams(workload.Drupal)
+	other.Scale = 0.03
+	q, err := workload.Build(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes()), q); err == nil {
+		t.Fatal("trace replayed against the wrong binary")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	params, _ := buildApp(t)
+	p, _ := workload.Build(*params)
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE")), p); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil), p); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReaderPastEndDegradesSoft(t *testing.T) {
+	params, in := buildApp(t)
+	p, _ := workload.Build(*params)
+	var buf bytes.Buffer
+	if err := Record(&buf, p, *in, 100); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st exec.Step
+	for i := 0; i < 300; i++ {
+		rd.Next(&st)
+		if st.NextIdx < 0 || int(st.NextIdx) >= len(p.Instrs) {
+			t.Fatal("reader produced an out-of-range index past EOF")
+		}
+	}
+	if rd.Err() != io.EOF {
+		t.Fatalf("Err = %v, want io.EOF", rd.Err())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	params, _ := buildApp(t)
+	p1, _ := workload.Build(*params)
+	p2 := workload.MustParams(workload.Kafka)
+	p2.Scale = 0.03
+	p2.Seed ^= 1
+	q, _ := workload.Build(p2)
+	if Fingerprint(p1) == Fingerprint(q) {
+		t.Fatal("different programs share a fingerprint")
+	}
+	if Fingerprint(p1) != Fingerprint(p1) {
+		t.Fatal("fingerprint not stable")
+	}
+}

@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"twig/internal/program"
+	"twig/internal/rng"
+)
+
+// BaseAddr is where generated text segments are loaded; an arbitrary
+// canonical user-space address.
+const BaseAddr = 0x400000
+
+// Build generates and links the application's program. The same Params
+// always produce the identical binary (structure randomness is keyed
+// only by Params.Seed and Scale).
+func Build(p Params) (*program.Program, error) {
+	if p.RequestTypes <= 0 || p.FuncsPerRequest <= 0 {
+		return nil, fmt.Errorf("workload: %s: non-positive structure counts", p.Name)
+	}
+	scale := p.Scale
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	g := &generator{
+		p:     p,
+		r:     rng.New(p.Seed),
+		b:     program.NewBuilder(BaseAddr),
+		scale: scale,
+	}
+	return g.build()
+}
+
+type generator struct {
+	p     Params
+	r     *rng.Rand
+	b     *program.Builder
+	scale float64
+
+	shared []int32 // shared library function indexes
+	// sharedFloor is the lowest shared-pool position the function body
+	// being generated may call. Private handler functions may call any
+	// shared function (floor 0); shared function i may only call
+	// functions after it in the pool, keeping the call graph acyclic —
+	// a cycle would trap the executor in unbounded recursion.
+	sharedFloor int
+}
+
+func (g *generator) build() (*program.Program, error) {
+	// Function 0 is the dispatcher by convention; its body is filled
+	// last, once the handler roots exist.
+	main := g.b.NewFunc()
+
+	// Shared library pool. Generated first so handler trees can call
+	// into it. Shared functions may call later shared functions (a DAG).
+	sharedN := max(8, int(float64(g.p.SharedFuncs)*g.scale))
+	firstShared := int32(g.b.NumFuncs())
+	for i := 0; i < sharedN; i++ {
+		g.b.NewFunc()
+	}
+	g.shared = make([]int32, sharedN)
+	for i := range g.shared {
+		g.shared[i] = firstShared + int32(i)
+	}
+	for i := 0; i < sharedN; i++ {
+		// A shared function calls 0-2 strictly-later shared functions
+		// and nothing else (sharedFloor == pool size disables every
+		// implicit call site in its body). Two properties matter: the
+		// call graph stays acyclic, and the mean out-degree stays below
+		// one — shared-pool detours are short utility chains, not
+		// exponential-multiplicity DAG walks.
+		var children []int32
+		for c := 0; c < 2 && g.r.Bool(0.35); c++ {
+			lo := i + 1
+			if lo < sharedN {
+				children = append(children, firstShared+int32(lo+g.r.Intn(sharedN-lo)))
+			}
+		}
+		g.sharedFloor = sharedN
+		g.fillFunc(g.funcBuilder(firstShared+int32(i)), children)
+	}
+	g.sharedFloor = 0
+
+	// Handler trees, one per request type.
+	budget := max(4, int(float64(g.p.FuncsPerRequest)*g.scale))
+	roots := make([]int32, g.p.RequestTypes)
+	for t := range roots {
+		roots[t] = g.genTree(budget, 0)
+	}
+
+	// Dispatcher: block0 does bookkeeping then indirectly calls the
+	// handler root for the chosen request type; block1 loops back.
+	set := g.b.AddIndirectSet(roots, nil)
+	b0 := main.NewBlock()
+	for i := 0; i < 4; i++ {
+		b0.Regular(g.regSize())
+	}
+	b0.IndirectCall(set, true)
+	b1 := main.NewBlock()
+	b1.Regular(g.regSize())
+	b1.Jump(0)
+
+	return g.b.Link()
+}
+
+// funcBuilder returns the FuncBuilder for a function index. The builder
+// API hands FuncBuilders out at creation; the generator re-derives them
+// by index to keep tree code simple.
+func (g *generator) funcBuilder(idx int32) *program.FuncBuilder {
+	return g.b.Func(idx)
+}
+
+// genTree creates a private handler function and its subtree, returning
+// the root's function index. budget is the number of functions the
+// subtree may create (including the root).
+func (g *generator) genTree(budget, depth int) int32 {
+	f := g.b.NewFunc()
+	budget--
+
+	var children []int32
+	if depth < g.p.MaxDepth && budget > 0 {
+		// Number of direct children around CallFanout.
+		maxC := int(math.Round(2 * g.p.CallFanout))
+		c := 1 + g.r.Intn(max(1, maxC))
+		if c > budget {
+			c = budget
+		}
+		// Split the remaining budget unevenly among children for
+		// realistically skewed trees.
+		remaining := budget - c // beyond each child's own 1
+		for i := 0; i < c; i++ {
+			share := 0
+			if remaining > 0 && i < c-1 {
+				share = g.r.Intn(remaining + 1)
+				remaining -= share
+			} else if i == c-1 {
+				share = remaining
+				remaining = 0
+			}
+			children = append(children, g.genTree(1+share, depth+1))
+		}
+	}
+	g.fillFunc(f, children)
+	return f.Index
+}
+
+// regSize returns a variable-length regular-instruction size, averaging
+// ~4 bytes like x86-64 integer code.
+func (g *generator) regSize() int {
+	return 2 + g.r.Intn(5) // uniform 2..6
+}
+
+// condBias returns a taken-probability for generic conditionals: mostly
+// strongly biased (as real branches are), sometimes balanced.
+func (g *generator) condBias() uint8 {
+	if g.r.Bool(0.7) {
+		// Strongly biased, either direction.
+		if g.r.Bool(0.5) {
+			return uint8(218 + g.r.Intn(36)) // ~0.85-0.99 taken
+		}
+		return uint8(4 + g.r.Intn(36)) // ~0.02-0.15 taken
+	}
+	return uint8(77 + g.r.Intn(102)) // ~0.3-0.7 taken
+}
+
+// fillFunc emits a function body containing the given call sites. The
+// body is a sequence of block groups: straight code, guarded calls,
+// if/else diamonds, loops, and virtual dispatches, ending in a return
+// block. Group emission references future block indexes; each group
+// creates exactly the blocks it promised, and the final return block
+// guarantees every forward reference resolves.
+func (g *generator) fillFunc(f *program.FuncBuilder, children []int32) {
+	p := g.p
+	callQueue := children
+	nextCall := func() (int32, bool) {
+		if len(callQueue) == 0 {
+			return 0, false
+		}
+		c := callQueue[0]
+		callQueue = callQueue[1:]
+		return c, true
+	}
+	// Some call sites target the shared pool instead of private children;
+	// once children are exhausted, further call groups fall back to the
+	// shared pool at the same rate (leaf functions call only utilities).
+	pickShared := func() (int32, bool) {
+		if g.sharedFloor >= len(g.shared) {
+			return 0, false
+		}
+		// Library usage is heavily skewed in real binaries: a small set
+		// of hot utilities (memcpy, allocators, string ops) takes most
+		// calls while a long tail stays cold. Squaring the uniform
+		// variate biases picks toward the pool head, keeping the hot
+		// head I-cache-resident while the cold tail still contributes
+		// BTB and I-cache misses.
+		u := g.r.Float64()
+		u = u * u
+		n := len(g.shared) - g.sharedFloor
+		idx := g.sharedFloor + int(u*float64(n))
+		if idx >= len(g.shared) {
+			idx = len(g.shared) - 1
+		}
+		return g.shared[idx], true
+	}
+	pickCallee := func() (int32, bool) {
+		if g.r.Bool(p.SharedCallProb) {
+			if s, ok := pickShared(); ok {
+				return s, true
+			}
+		}
+		if c, ok := nextCall(); ok {
+			return c, true
+		}
+		if g.r.Bool(p.SharedCallProb) {
+			return pickShared()
+		}
+		return 0, false
+	}
+
+	emitRegs := func(blk *program.BlockBuilder) {
+		n := 1 + g.r.Intn(max(1, 2*p.InstrsPerBlock-1))
+		for i := 0; i < n; i++ {
+			blk.Regular(g.regSize())
+		}
+	}
+
+	// Target group count; each group emits 1-3 blocks.
+	groups := max(2, p.BlocksPerFunc/2+g.r.Intn(max(1, p.BlocksPerFunc/2)))
+	for gi := 0; gi < groups; gi++ {
+		n := int32(f.NumBlocks())
+		switch {
+		case g.r.Bool(p.LoopProb):
+			// Loop: optional shared-utility call in the body ("process
+			// each item" style), back-edge conditional. Loops never call
+			// private subtree children — that would re-execute whole
+			// subtrees per iteration and concentrate the dynamic
+			// footprint, which is not how per-request code behaves.
+			cont := 1 - 1/math.Max(1.5, p.LoopMean)
+			bias := uint8(math.Min(250, math.Round(cont*256)))
+			if callee, ok := pickShared(); ok && g.r.Bool(0.5) {
+				// blocks n (body+call) and n+1 (latch -> n).
+				body := f.NewBlock()
+				emitRegs(body)
+				body.Call(callee)
+				latch := f.NewBlock()
+				emitRegs(latch)
+				latch.Cond(n, bias, true)
+			} else {
+				body := f.NewBlock()
+				emitRegs(body)
+				body.Cond(n, bias, true)
+			}
+		case g.r.Bool(p.DiamondProb):
+			// Diamond: A cond-> C, B (then) jump-> D, C (else) falls to D.
+			a := f.NewBlock()
+			emitRegs(a)
+			a.Cond(n+2, g.condBias(), false)
+			bThen := f.NewBlock()
+			emitRegs(bThen)
+			bThen.Jump(n + 3)
+			cElse := f.NewBlock()
+			emitRegs(cElse)
+			// falls through to n+3, the next group's first block.
+		case g.r.Bool(p.SwitchProb) && g.sharedFloor < len(g.shared):
+			// Virtual dispatch through a small implementation set.
+			impls := make([]int32, 0, p.VirtualImpls)
+			ws := make([]float32, 0, p.VirtualImpls)
+			for i := 0; i < max(2, p.VirtualImpls); i++ {
+				s, _ := pickShared()
+				impls = append(impls, s)
+				ws = append(ws, float32(1+g.r.Intn(8)))
+			}
+			set := g.b.AddIndirectSet(impls, ws)
+			blk := f.NewBlock()
+			emitRegs(blk)
+			blk.IndirectCall(set, false)
+		default:
+			callee, ok := pickCallee()
+			switch {
+			case !ok:
+				// Straight code ending in a forward conditional skip.
+				blk := f.NewBlock()
+				emitRegs(blk)
+				blk.Cond(n+2, g.condBias(), false)
+				skipped := f.NewBlock()
+				emitRegs(skipped)
+				// falls through to n+2.
+			case g.r.Bool(0.3):
+				// Guarded call: cond skips over the call block.
+				guard := f.NewBlock()
+				emitRegs(guard)
+				guard.Cond(n+2, uint8(26+g.r.Intn(77)), false) // skip 10-40%
+				callBlk := f.NewBlock()
+				emitRegs(callBlk)
+				if g.r.Bool(p.VirtualCallProb) && g.sharedFloor+2 <= len(g.shared) {
+					s1, _ := pickShared()
+					s2, _ := pickShared()
+					callBlk.IndirectCall(g.b.AddIndirectSet([]int32{s1, s2}, nil), false)
+				} else {
+					callBlk.Call(callee)
+				}
+			default:
+				blk := f.NewBlock()
+				emitRegs(blk)
+				if g.r.Bool(p.VirtualCallProb) && g.sharedFloor+2 <= len(g.shared) {
+					s1, _ := pickShared()
+					s2, _ := pickShared()
+					blk.IndirectCall(g.b.AddIndirectSet([]int32{s1, s2}, nil), false)
+				} else {
+					blk.Call(callee)
+				}
+			}
+		}
+	}
+	// Drain any unconsumed children so every generated function is
+	// reachable: one call block each.
+	for {
+		c, ok := nextCall()
+		if !ok {
+			break
+		}
+		blk := f.NewBlock()
+		blk.Regular(g.regSize())
+		blk.Call(c)
+	}
+	ret := f.NewBlock()
+	emitRegs(ret)
+	ret.Return()
+}

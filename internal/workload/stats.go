@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"twig/internal/exec"
+	"twig/internal/isa"
+	"twig/internal/program"
+)
+
+// Stats summarizes a generated application's static structure and (when
+// measured with DynamicStats) its dynamic behaviour — the quantities
+// the paper's characterization section reasons about.
+type Stats struct {
+	// Static structure.
+	Functions, Blocks, Instructions int
+	TextBytes                       uint64
+	StaticDirectBranches            int
+	StaticUncondDirect              int
+	BytesPerInstruction             float64
+	BranchesPerKB                   float64
+
+	// Dynamic mix (per kilo-instruction), filled by DynamicStats.
+	Window            int64
+	DynCondPerKI      float64
+	DynUncondPerKI    float64
+	DynReturnPerKI    float64
+	DynIndirectPerKI  float64
+	TakenPerKI        float64
+	DynamicUncondWS   int
+	DynamicBranchWS   int
+	RequestsPerMillon float64
+}
+
+// StaticStats computes the structure-only statistics of p.
+func StaticStats(p *program.Program) Stats {
+	kc := p.KindCounts()
+	s := Stats{
+		Functions:            len(p.Funcs),
+		Blocks:               len(p.Blocks),
+		Instructions:         len(p.Instrs),
+		TextBytes:            p.TextBytes,
+		StaticDirectBranches: p.StaticBranches(),
+		StaticUncondDirect:   int(kc[isa.KindJump] + kc[isa.KindCall]),
+	}
+	if s.Instructions > 0 {
+		s.BytesPerInstruction = float64(s.TextBytes) / float64(s.Instructions)
+	}
+	if s.TextBytes > 0 {
+		s.BranchesPerKB = float64(s.StaticDirectBranches) / (float64(s.TextBytes) / 1024)
+	}
+	return s
+}
+
+// DynamicStats executes n instructions of p under in and adds the
+// dynamic mix to the static statistics.
+func DynamicStats(p *program.Program, in exec.Input, n int64) (Stats, error) {
+	s := StaticStats(p)
+	ex, err := exec.New(p, in)
+	if err != nil {
+		return s, err
+	}
+	var st exec.Step
+	var cond, uncond, ret, ind, taken, requests int64
+	uncondWS := make(map[int32]struct{})
+	branchWS := make(map[int32]struct{})
+	for i := int64(0); i < n; i++ {
+		ex.Next(&st)
+		instr := &p.Instrs[st.Idx]
+		if st.Taken {
+			taken++
+		}
+		switch instr.Kind {
+		case isa.KindCondBranch:
+			cond++
+			branchWS[st.Idx] = struct{}{}
+		case isa.KindJump, isa.KindCall:
+			uncond++
+			uncondWS[st.Idx] = struct{}{}
+			branchWS[st.Idx] = struct{}{}
+		case isa.KindReturn:
+			ret++
+		case isa.KindIndirectJump, isa.KindIndirectCall:
+			ind++
+		}
+		if instr.Flags&program.FlagDispatch != 0 {
+			requests++
+		}
+	}
+	k := float64(n) / 1000
+	s.Window = n
+	s.DynCondPerKI = float64(cond) / k
+	s.DynUncondPerKI = float64(uncond) / k
+	s.DynReturnPerKI = float64(ret) / k
+	s.DynIndirectPerKI = float64(ind) / k
+	s.TakenPerKI = float64(taken) / k
+	s.DynamicUncondWS = len(uncondWS)
+	s.DynamicBranchWS = len(branchWS)
+	s.RequestsPerMillon = float64(requests) / float64(n) * 1e6
+	return s, nil
+}
+
+// String renders the statistics as a readable block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "functions            %d\n", s.Functions)
+	fmt.Fprintf(&b, "basic blocks         %d\n", s.Blocks)
+	fmt.Fprintf(&b, "instructions         %d (%.2f bytes avg)\n", s.Instructions, s.BytesPerInstruction)
+	fmt.Fprintf(&b, "text                 %.2f MB\n", float64(s.TextBytes)/1e6)
+	fmt.Fprintf(&b, "direct branches      %d (%.1f per KB)\n", s.StaticDirectBranches, s.BranchesPerKB)
+	fmt.Fprintf(&b, "uncond direct        %d\n", s.StaticUncondDirect)
+	if s.Window > 0 {
+		fmt.Fprintf(&b, "dynamic window       %d instructions\n", s.Window)
+		fmt.Fprintf(&b, "cond / uncond per KI %.1f / %.1f\n", s.DynCondPerKI, s.DynUncondPerKI)
+		fmt.Fprintf(&b, "return / ind per KI  %.1f / %.1f\n", s.DynReturnPerKI, s.DynIndirectPerKI)
+		fmt.Fprintf(&b, "taken per KI         %.1f\n", s.TakenPerKI)
+		fmt.Fprintf(&b, "branch working set   %d (uncond %d)\n", s.DynamicBranchWS, s.DynamicUncondWS)
+		fmt.Fprintf(&b, "requests per Minstr  %.0f\n", s.RequestsPerMillon)
+	}
+	return b.String()
+}

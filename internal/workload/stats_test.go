@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticStats(t *testing.T) {
+	params := MustParams(Cassandra)
+	params.Scale = 0.03
+	p, err := Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StaticStats(p)
+	if s.Functions != len(p.Funcs) || s.Instructions != len(p.Instrs) {
+		t.Fatal("static counts wrong")
+	}
+	if s.BytesPerInstruction < 2 || s.BytesPerInstruction > 8 {
+		t.Fatalf("bytes/instruction %.2f outside the variable-length range", s.BytesPerInstruction)
+	}
+	if s.BranchesPerKB <= 0 {
+		t.Fatal("no branch density")
+	}
+}
+
+func TestDynamicStatsMix(t *testing.T) {
+	params := MustParams(Cassandra)
+	params.Scale = 0.03
+	p, err := Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DynamicStats(p, params.Input(0), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 7's shape: conditionals dominate the branch mix.
+	if s.DynCondPerKI <= s.DynUncondPerKI {
+		t.Fatalf("conditionals (%.1f/KI) must dominate unconditionals (%.1f/KI)",
+			s.DynCondPerKI, s.DynUncondPerKI)
+	}
+	// Calls and returns balance over a long window.
+	if s.DynReturnPerKI <= 0 || s.DynUncondPerKI <= 0 {
+		t.Fatal("missing branch classes")
+	}
+	if s.DynamicBranchWS <= s.DynamicUncondWS {
+		t.Fatal("branch working set must exceed its unconditional subset")
+	}
+	if s.RequestsPerMillon <= 0 {
+		t.Fatal("no requests dispatched")
+	}
+	if !strings.Contains(s.String(), "branch working set") {
+		t.Fatal("String() missing dynamic section")
+	}
+}
+
+func TestDynamicWorkingSetOrdering(t *testing.T) {
+	// Verilator's dynamic branch working set must dwarf wordpress's —
+	// the Fig. 3 MPKI ordering depends on it.
+	measure := func(app App) int {
+		params := MustParams(app)
+		params.Scale = 0.05
+		p, err := Build(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DynamicStats(p, params.Input(0), 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.DynamicBranchWS
+	}
+	if v, w := measure(Verilator), measure(WordPress); v <= w {
+		t.Fatalf("verilator branch WS %d <= wordpress %d", v, w)
+	}
+}

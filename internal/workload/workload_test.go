@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"twig/internal/isa"
+)
+
+func TestCatalogCoversAllApps(t *testing.T) {
+	for _, app := range Apps() {
+		p, err := ParamsFor(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if p.Name != app {
+			t.Errorf("%s: catalog name mismatch %q", app, p.Name)
+		}
+		if p.BackendCPI <= 0 || p.RequestTypes <= 0 || p.FuncsPerRequest <= 0 {
+			t.Errorf("%s: degenerate parameters %+v", app, p)
+		}
+	}
+	if _, err := ParamsFor("no-such-app"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	params := MustParams(Drupal)
+	params.Scale = 0.03
+	p1, err := Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("non-deterministic build: %d vs %d instructions", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instruction %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	for _, app := range Apps() {
+		params := MustParams(app)
+		params.Scale = 0.03
+		p, err := Build(params)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if p.StaticBranches() == 0 {
+			t.Fatalf("%s: no branches generated", app)
+		}
+	}
+}
+
+func TestScaleScalesFootprint(t *testing.T) {
+	small := MustParams(Cassandra)
+	small.Scale = 0.02
+	big := MustParams(Cassandra)
+	big.Scale = 0.08
+	ps, err := Build(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Build(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(pb.Instrs)) / float64(len(ps.Instrs))
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("4x scale produced %.1fx instructions", ratio)
+	}
+}
+
+func TestCallGraphAcyclic(t *testing.T) {
+	// Direct call and indirect-set edges must never point backwards in
+	// a way that forms a cycle; verify via DFS over function indices.
+	params := MustParams(Tomcat)
+	params.Scale = 0.03
+	p, err := Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcOf := func(idx int32) int32 { return p.Blocks[p.BlockOf[idx]].Func }
+	adj := make(map[int32][]int32)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		from := funcOf(int32(i))
+		switch {
+		case in.Kind == isa.KindCall:
+			adj[from] = append(adj[from], funcOf(p.IndexOf(in.Target)))
+		case in.Kind.IsIndirect():
+			for _, wt := range p.IndirectSets[in.Aux] {
+				adj[from] = append(adj[from], funcOf(p.IndexOf(wt.Target)))
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int32]int)
+	var stack []int32
+	var visit func(f int32) bool
+	visit = func(f int32) bool {
+		color[f] = gray
+		stack = append(stack, f)
+		for _, g := range adj[f] {
+			if f == 0 {
+				continue // the dispatcher legitimately calls everything
+			}
+			switch color[g] {
+			case gray:
+				t.Fatalf("call cycle through functions %v -> %d", stack, g)
+				return false
+			case white:
+				if !visit(g) {
+					return false
+				}
+			}
+		}
+		color[f] = black
+		stack = stack[:len(stack)-1]
+		return true
+	}
+	for f := int32(1); f < int32(len(p.Funcs)); f++ {
+		if color[f] == white {
+			visit(f)
+		}
+	}
+}
+
+func TestInputsDiffer(t *testing.T) {
+	params := MustParams(Kafka)
+	i0, i1 := params.Input(0), params.Input(1)
+	if i0.Seed == i1.Seed {
+		t.Fatal("inputs share a seed")
+	}
+	diff := false
+	for i := range i0.RequestMix {
+		if i0.RequestMix[i] != i1.RequestMix[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("inputs share the exact request mix")
+	}
+}
+
+func TestInputPhases(t *testing.T) {
+	params := MustParams(Kafka)
+	p0, p1 := params.InputPhase(2, 0), params.InputPhase(2, 1)
+	if p0.Seed == p1.Seed {
+		t.Fatal("phases share a seed")
+	}
+	for i := range p0.RequestMix {
+		if p0.RequestMix[i] != p1.RequestMix[i] {
+			t.Fatal("phases must share the request mix")
+		}
+	}
+}
+
+func TestUncondWorkingSetShape(t *testing.T) {
+	// The paper's Fig. 11 story: the PHP apps' static unconditional
+	// footprint is small relative to the JVM apps'. Verify the ordering
+	// holds for the generated binaries at default scale.
+	count := func(app App) int64 {
+		p, err := Build(MustParams(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := p.KindCounts()
+		return k[isa.KindJump] + k[isa.KindCall]
+	}
+	wp := count(WordPress)
+	cass := count(Cassandra)
+	veri := count(Verilator)
+	if wp >= cass {
+		t.Errorf("wordpress uncond (%d) should be below cassandra (%d)", wp, cass)
+	}
+	if wp >= veri {
+		t.Errorf("wordpress uncond (%d) should be below verilator (%d)", wp, veri)
+	}
+}

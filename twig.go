@@ -1,0 +1,303 @@
+// Package twig is a from-scratch reproduction of "Twig: Profile-Guided
+// BTB Prefetching for Data Center Applications" (Khan et al., MICRO
+// 2021): a cycle-approximate decoupled-frontend CPU simulator with
+// FDIP, the Twig profile→analyze→inject→run pipeline built around two
+// new instructions (brprefetch and brcoalesce), the Shotgun and
+// Confluence hardware-prefetcher baselines, and synthetic models of the
+// paper's nine data-center applications.
+//
+// The package is a facade over the internal engine. Typical use:
+//
+//	sys, err := twig.NewSystem(twig.Cassandra, twig.DefaultConfig())
+//	base, _ := sys.Baseline(0)
+//	opt, _ := sys.Twig(0)
+//	fmt.Printf("speedup: %+.1f%%\n", twig.Speedup(base, opt))
+//
+// Every run is deterministic: the same application, input number and
+// configuration always produce the same numbers.
+package twig
+
+import (
+	"fmt"
+	"io"
+
+	"twig/internal/core"
+	"twig/internal/experiments"
+	"twig/internal/metrics"
+	"twig/internal/pipeline"
+	"twig/internal/workload"
+)
+
+// App names one of the nine data-center applications the paper
+// evaluates.
+type App = workload.App
+
+// The nine applications (§2 of the paper).
+const (
+	Cassandra      = workload.Cassandra
+	Drupal         = workload.Drupal
+	FinagleChirper = workload.FinagleChirper
+	FinagleHTTP    = workload.FinagleHTTP
+	Kafka          = workload.Kafka
+	MediaWiki      = workload.MediaWiki
+	Tomcat         = workload.Tomcat
+	Verilator      = workload.Verilator
+	WordPress      = workload.WordPress
+)
+
+// Apps returns all nine applications in the paper's order.
+func Apps() []App { return workload.Apps() }
+
+// Config selects the headline knobs of the machine and the Twig
+// analysis. Zero values mean "paper default" (Table 1 machine, 8K-entry
+// 4-way BTB, 20-cycle prefetch distance, 8-bit coalesce mask, 128-entry
+// prefetch buffer).
+type Config struct {
+	// Instructions is the simulation window in original instructions.
+	Instructions int64
+	// BTBEntries / BTBWays size the baseline BTB.
+	BTBEntries, BTBWays int
+	// FTQSize is the decoupled frontend's run-ahead depth in fetch
+	// regions.
+	FTQSize int
+	// PrefetchBuffer is Twig's architectural buffer capacity.
+	PrefetchBuffer int
+	// PrefetchDistance is the analysis' minimum site-to-miss distance
+	// in cycles.
+	PrefetchDistance float64
+	// CoalesceMaskBits is the brcoalesce bitmask width.
+	CoalesceMaskBits int
+	// DisableCoalescing evaluates software BTB prefetching alone
+	// (Fig. 18's first configuration).
+	DisableCoalescing bool
+	// SampleRate makes the profiler record every Nth BTB miss.
+	SampleRate int
+}
+
+// DefaultConfig returns the paper's operating point with a window sized
+// for interactive use.
+func DefaultConfig() Config {
+	return Config{Instructions: 1_000_000}
+}
+
+func (c Config) options() core.Options {
+	opts := core.DefaultOptions()
+	if c.Instructions > 0 {
+		opts.Pipeline.MaxInstructions = c.Instructions
+	}
+	if c.BTBEntries > 0 {
+		opts.BTB.Entries = c.BTBEntries
+	}
+	if c.BTBWays > 0 {
+		opts.BTB.Ways = c.BTBWays
+	}
+	if c.FTQSize > 0 {
+		opts.Pipeline.FTQSize = c.FTQSize
+	}
+	if c.PrefetchBuffer > 0 {
+		opts.PrefetchBuffer = c.PrefetchBuffer
+	}
+	if c.PrefetchDistance > 0 {
+		opts.Opt.PrefetchDistance = c.PrefetchDistance
+	}
+	if c.CoalesceMaskBits > 0 {
+		opts.Opt.CoalesceMaskBits = c.CoalesceMaskBits
+	}
+	opts.Opt.DisableCoalescing = c.DisableCoalescing
+	if c.SampleRate > 0 {
+		opts.SampleRate = c.SampleRate
+	}
+	return opts
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Instructions is the original-instruction count of the window;
+	// Cycles the simulated cycles; IPC their ratio (injected prefetch
+	// instructions execute but do not count as work).
+	Instructions int64
+	Cycles       float64
+	IPC          float64
+	// BTBMPKI is direct-branch BTB misses per kilo-instruction.
+	BTBMPKI float64
+	// BTBMisses and BTBAccesses are the direct-branch demand counts.
+	BTBMisses, BTBAccesses int64
+	// FrontendBoundFrac approximates the Top-Down frontend-bound share.
+	FrontendBoundFrac float64
+	// PrefetchIssued/Used and PrefetchAccuracy describe BTB prefetch
+	// effectiveness (zero for schemes that do not prefetch).
+	PrefetchIssued, PrefetchUsed int64
+	PrefetchAccuracy             float64
+	// DynamicOverhead is the injected-instruction share (Twig runs).
+	DynamicOverhead float64
+	// ICacheMPKI is L1i demand misses per kilo-instruction.
+	ICacheMPKI float64
+}
+
+func toResult(r *pipeline.Result) Result {
+	return Result{
+		Instructions:      r.Original,
+		Cycles:            r.Cycles,
+		IPC:               r.IPC(),
+		BTBMPKI:           r.MPKI(),
+		BTBMisses:         r.BTB.DirectMisses(),
+		BTBAccesses:       r.BTB.DirectAccesses(),
+		FrontendBoundFrac: r.FrontendBoundFrac(),
+		PrefetchIssued:    r.Prefetch.Issued,
+		PrefetchUsed:      r.Prefetch.Used,
+		PrefetchAccuracy:  r.Prefetch.Accuracy(),
+		DynamicOverhead:   r.DynamicOverhead(),
+		ICacheMPKI:        float64(r.ICacheMisses) / float64(max64(r.Original, 1)) * 1000,
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Speedup returns the percentage IPC improvement of opt over base.
+func Speedup(base, opt Result) float64 { return metrics.Speedup(base.IPC, opt.IPC) }
+
+// Coverage returns the percentage of base's BTB misses that opt
+// eliminated.
+func Coverage(base, opt Result) float64 { return metrics.Coverage(base.BTBMisses, opt.BTBMisses) }
+
+// AnalysisSummary describes what the Twig offline analysis produced for
+// an application.
+type AnalysisSummary struct {
+	// Sites is the number of (injection block, branch) placements.
+	Sites int
+	// CoalesceTableEntries is the size of the key-value prefetch table.
+	CoalesceTableEntries int
+	// InjectedInstructions and InjectedBytes are the static overhead.
+	InjectedInstructions int
+	InjectedBytes        uint64
+	// TextBytes is the original text-segment size.
+	TextBytes uint64
+	// StaticOverhead is InjectedBytes/TextBytes.
+	StaticOverhead float64
+	// EstimatedCoverage is the analysis-time share of sampled miss
+	// volume reachable from the chosen sites.
+	EstimatedCoverage float64
+}
+
+// System is one application prepared end to end: built, profiled on a
+// training input, analyzed, and relinked with prefetch instructions.
+type System struct {
+	art  *core.Artifacts
+	opts core.Options
+}
+
+// NewSystem builds and optimizes the application, training Twig on
+// input 0.
+func NewSystem(app App, cfg Config) (*System, error) {
+	return NewSystemTrained(app, 0, cfg)
+}
+
+// NewSystemTrained builds and optimizes the application using the given
+// training input (the paper's cross-input study trains on #0 and tests
+// on #1-#3).
+func NewSystemTrained(app App, trainInput int, cfg Config) (*System, error) {
+	opts := cfg.options()
+	art, err := core.BuildAndOptimize(app, trainInput, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{art: art, opts: opts}, nil
+}
+
+// App returns the application this system models.
+func (s *System) App() App { return s.art.Params.Name }
+
+// Baseline simulates the unmodified binary with the baseline BTB.
+func (s *System) Baseline(input int) (Result, error) {
+	r, err := s.art.RunBaseline(input, s.opts)
+	return wrap(r, err)
+}
+
+// IdealBTB simulates the unmodified binary with a perfect BTB (the
+// paper's limit study).
+func (s *System) IdealBTB(input int) (Result, error) {
+	r, err := s.art.RunIdealBTB(input, s.opts)
+	return wrap(r, err)
+}
+
+// Twig simulates the optimized binary (baseline BTB + prefetch buffer +
+// injected brprefetch/brcoalesce instructions).
+func (s *System) Twig(input int) (Result, error) {
+	r, err := s.art.RunTwig(input, s.opts)
+	return wrap(r, err)
+}
+
+// Shotgun simulates the unmodified binary under the Shotgun frontend
+// prefetcher (Kumar et al., ASPLOS 2018).
+func (s *System) Shotgun(input int) (Result, error) {
+	r, err := s.art.RunShotgun(input, s.opts)
+	return wrap(r, err)
+}
+
+// Confluence simulates the unmodified binary under the Confluence
+// frontend prefetcher (Kaynak et al., MICRO 2015).
+func (s *System) Confluence(input int) (Result, error) {
+	r, err := s.art.RunConfluence(input, s.opts)
+	return wrap(r, err)
+}
+
+// Analysis summarizes the offline analysis for this system.
+func (s *System) Analysis() AnalysisSummary {
+	an := s.art.Analysis
+	est := 0.0
+	if an.TotalMissCount > 0 {
+		est = float64(an.CoveredMissCount) / float64(an.TotalMissCount)
+	}
+	return AnalysisSummary{
+		Sites:                len(an.Placements),
+		CoalesceTableEntries: len(s.art.Optimized.CoalesceTable),
+		InjectedInstructions: s.art.Optimized.InjectedInstrs(),
+		InjectedBytes:        s.art.Optimized.InjectedBytes(),
+		TextBytes:            s.art.Program.TextBytes,
+		StaticOverhead:       float64(s.art.Optimized.InjectedBytes()) / float64(s.art.Program.TextBytes),
+		EstimatedCoverage:    est,
+	}
+}
+
+func wrap(r *pipeline.Result, err error) (Result, error) {
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(r), nil
+}
+
+// RunExperiments regenerates the paper's tables and figures into w.
+// only restricts the set to the given experiment IDs (nil = all);
+// instructions sizes each simulation window. See ExperimentIDs.
+func RunExperiments(w io.Writer, instructions int64, only []string, apps []App) error {
+	ctx := experiments.NewContext(w, instructions)
+	if len(apps) > 0 {
+		ctx.Apps = apps
+	}
+	if len(only) == 0 {
+		for _, e := range experiments.All() {
+			if err := ctx.RunOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range only {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("twig: unknown experiment %q (known: %v)", id, experiments.IDs())
+		}
+		if err := ctx.RunOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExperimentIDs lists the regenerable tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }
