@@ -1,0 +1,37 @@
+# Standard targets for the Twig reproduction. Everything is plain
+# `go` — the Makefile only names the invocations CI and contributors
+# share.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (same check CI runs).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench records the perf trajectory: ns/op and simulated kIPS for the
+# three main schemes (baseline, twig, shotgun) on the default
+# 1M-instruction cassandra run, written to BENCH_pipeline.json.
+bench:
+	$(GO) run ./cmd/twigstat -bench -o BENCH_pipeline.json
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	rm -f BENCH_pipeline.json

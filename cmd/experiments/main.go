@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"twig"
+	"twig/internal/experiments"
+	"twig/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 		instructions = flag.Int64("instructions", 1_000_000, "simulation window per run")
 		list         = flag.Bool("list", false, "list experiment IDs and exit")
 		htmlOut      = flag.String("html", "", "also write a self-contained HTML report to this file")
+		listen       = flag.String("listen", "", `serve a live stats endpoint (e.g. ":8080") showing the currently running simulation`)
+		epoch        = flag.Int64("epoch", 0, "live-endpoint refresh period in instructions (0 = window/10; with -listen)")
 	)
 	flag.Parse()
 
@@ -54,8 +58,34 @@ func main() {
 		out = io.MultiWriter(os.Stdout, &captured)
 	}
 
+	ctx := experiments.NewContext(out, *instructions)
+	if len(appList) > 0 {
+		ctx.Apps = appList
+	}
+	if *listen != "" {
+		period := *epoch
+		if period <= 0 {
+			period = ctx.Opts.Pipeline.MaxInstructions / 10
+		}
+		if period <= 0 {
+			period = 1
+		}
+		reg := telemetry.NewRegistry()
+		live := telemetry.NewLiveServer()
+		addr, stop, err := live.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		ctx.Opts.Telemetry.Registry = reg
+		ctx.Opts.Telemetry.EpochLength = period
+		ctx.Opts.Pipeline.Hooks.OnEpoch = func(int64, int64, float64) { live.Update(reg, nil) }
+		fmt.Fprintf(os.Stderr, "experiments: live stats on http://%s\n", addr)
+	}
+
 	start := time.Now()
-	if err := twig.RunExperiments(out, *instructions, ids, appList); err != nil {
+	if err := runSelected(ctx, ids); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -68,6 +98,29 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *htmlOut)
 	}
+}
+
+// runSelected runs the requested experiment IDs (nil = all) against the
+// shared context.
+func runSelected(ctx *experiments.Context, ids []string) error {
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			if err := ctx.RunOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %v)", id, experiments.IDs())
+		}
+		if err := ctx.RunOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // section is one experiment's rendered output for the HTML report.

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"twig"
@@ -21,6 +22,8 @@ func main() {
 		distance     = flag.Float64("distance", 0, "prefetch distance in cycles (0 = paper default 20)")
 		maskBits     = flag.Int("mask", 0, "coalesce bitmask width (0 = paper default 8)")
 		noCoalesce   = flag.Bool("no-coalesce", false, "software BTB prefetching only (drop coalescing)")
+		traceFile    = flag.String("trace", "", "write the measurement runs' event trace (JSON Lines) to this file")
+		metricsFile  = flag.String("metrics", "", `write the Prometheus exposition after measurement to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -29,6 +32,18 @@ func main() {
 	cfg.PrefetchDistance = *distance
 	cfg.CoalesceMaskBits = *maskBits
 	cfg.DisableCoalescing = *noCoalesce
+	if *metricsFile != "" {
+		cfg.CollectMetrics = true
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigopt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
 
 	sys, err := twig.NewSystemTrained(twig.App(*app), *train, cfg)
 	if err != nil {
@@ -59,4 +74,21 @@ func main() {
 	fmt.Printf("measured speedup       %+.2f%%\n", twig.Speedup(base, opt))
 	fmt.Printf("prefetch accuracy      %.1f%%\n", opt.PrefetchAccuracy*100)
 	fmt.Printf("dynamic overhead       %.2f%%\n", opt.DynamicOverhead*100)
+
+	if *metricsFile != "" {
+		var w io.Writer = os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "twigopt:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := sys.WriteMetrics(w); err != nil {
+			fmt.Fprintln(os.Stderr, "twigopt:", err)
+			os.Exit(1)
+		}
+	}
 }

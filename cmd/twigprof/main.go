@@ -10,23 +10,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"twig/internal/core"
 	"twig/internal/metrics"
 	"twig/internal/prefetcher"
 	"twig/internal/profile"
+	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
 
 func main() {
 	var (
-		app   = flag.String("app", "cassandra", "application")
-		input = flag.Int("input", 0, "input configuration number")
-		n     = flag.Int64("n", 2_000_000, "instructions to profile / evaluate")
-		out   = flag.String("o", "", "save the collected profile to this file")
-		use   = flag.String("use", "", "optimize from this saved profile instead of collecting")
-		rate  = flag.Int("rate", 1, "sample every Nth BTB miss")
+		app         = flag.String("app", "cassandra", "application")
+		input       = flag.Int("input", 0, "input configuration number")
+		n           = flag.Int64("n", 2_000_000, "instructions to profile / evaluate")
+		out         = flag.String("o", "", "save the collected profile to this file")
+		use         = flag.String("use", "", "optimize from this saved profile instead of collecting")
+		rate        = flag.Int("rate", 1, "sample every Nth BTB miss")
+		events      = flag.String("trace", "", "write the evaluation runs' event trace (JSON Lines) to this file (with -use)")
+		metricsFile = flag.String("metrics", "", `write the Prometheus exposition after evaluation to this file ("-" = stdout; with -use)`)
 	)
 	flag.Parse()
 
@@ -44,6 +48,19 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(err)
+		}
+		var reg *telemetry.Registry
+		if *metricsFile != "" {
+			reg = telemetry.NewRegistry()
+			opts.Telemetry.Registry = reg
+		}
+		if *events != "" {
+			ef, err := os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			defer ef.Close()
+			opts.Telemetry.Tracer = telemetry.NewTracer(ef)
 		}
 		art, err := core.BuildWithProfile(workload.App(*app), prof, opts)
 		if err != nil {
@@ -63,6 +80,20 @@ func main() {
 			metrics.Speedup(base.IPC(), tw.IPC()),
 			metrics.Coverage(base.BTB.DirectMisses(), tw.BTB.DirectMisses()),
 			tw.Prefetch.Accuracy()*100)
+		if reg != nil {
+			var w io.Writer = os.Stdout
+			if *metricsFile != "-" {
+				mf, err := os.Create(*metricsFile)
+				if err != nil {
+					fatal(err)
+				}
+				defer mf.Close()
+				w = mf
+			}
+			if err := telemetry.WritePrometheus(w, reg, "twig"); err != nil {
+				fatal(err)
+			}
+		}
 
 	default:
 		params, err := workload.ParamsFor(workload.App(*app))

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"twig"
@@ -27,6 +29,10 @@ func main() {
 		btbEntries   = flag.Int("btb", 0, "BTB entries (0 = paper default 8192)")
 		list         = flag.Bool("list", false, "list applications and exit")
 		describe     = flag.Bool("describe", false, "print the app's workload statistics and exit")
+		epoch        = flag.Int64("epoch", 0, "sample metrics every N instructions and print per-epoch IPC (0 = off)")
+		traceFile    = flag.String("trace", "", "write the structured event trace (JSON Lines) to this file")
+		metricsFile  = flag.String("metrics", "", `write the Prometheus exposition to this file ("-" = stdout)`)
+		listen       = flag.String("listen", "", `serve the live stats endpoint on this address (e.g. ":8080") and keep serving after the run`)
 	)
 	flag.Parse()
 
@@ -60,12 +66,27 @@ func main() {
 	cfg := twig.DefaultConfig()
 	cfg.Instructions = *instructions
 	cfg.BTBEntries = *btbEntries
+	cfg.Epoch = *epoch
+	cfg.LiveAddr = *listen
+	if *metricsFile != "" {
+		cfg.CollectMetrics = true
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
 
 	sys, err := twig.NewSystemTrained(twig.App(*app), *train, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "twigsim:", err)
 		os.Exit(1)
 	}
+	defer sys.Close()
 
 	var res twig.Result
 	switch *scheme {
@@ -106,11 +127,50 @@ func main() {
 		fmt.Printf("dynamic overhead   %.2f%%\n", res.DynamicOverhead*100)
 	}
 
+	// Snapshot the exposition now: the speedup comparison below runs the
+	// baseline, which would rebind the registry's gauges to that run.
+	var promSnap bytes.Buffer
+	if *metricsFile != "" {
+		if err := sys.WriteMetrics(&promSnap); err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *scheme != "baseline" {
 		base, err := sys.Baseline(*input)
 		if err == nil {
 			fmt.Printf("speedup vs FDIP    %+.2f%%\n", twig.Speedup(base, res))
 			fmt.Printf("miss coverage      %.1f%%\n", twig.Coverage(base, res))
 		}
+	}
+
+	if len(res.Epochs) > 0 {
+		fmt.Println()
+		for _, e := range res.Epochs {
+			fmt.Printf("epoch %-3d  IPC %.3f  BTB MPKI %6.2f\n", e.Epoch, e.IPC, e.BTBMPKI)
+		}
+	}
+
+	if *metricsFile != "" {
+		var w io.Writer = os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "twigsim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if _, err := w.Write(promSnap.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "twigsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *listen != "" {
+		fmt.Fprintf(os.Stderr, "twigsim: serving live stats on http://%s (interrupt to exit)\n", sys.LiveAddr())
+		select {}
 	}
 }

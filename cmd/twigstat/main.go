@@ -1,0 +1,280 @@
+// Command twigstat renders the per-epoch telemetry of one application
+// under one frontend scheme: IPC, BTB MPKI, resteer rate, I-cache MPKI,
+// and BTB-miss coverage against the FDIP baseline, epoch by epoch.
+//
+// Usage:
+//
+//	twigstat -app cassandra -scheme twig -epoch 100000
+//	twigstat -app kafka -scheme shotgun -format jsonl
+//	twigstat -app drupal -scheme twig -trace events.jsonl -metrics -
+//	twigstat -bench -o BENCH_pipeline.json
+//
+// The tool always simulates the baseline alongside the requested scheme
+// (with the same epoch length) so per-epoch coverage is the signed
+// share of the baseline's BTB misses the scheme eliminated in that
+// epoch — negative when the scheme missed more. Output is
+// deterministic: the same flags always produce byte-identical text.
+//
+// With -bench, twigstat instead times full simulations of the three
+// main schemes (baseline, twig, shotgun) and writes ns/op and simulated
+// kIPS to a JSON file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"twig"
+	"twig/internal/metrics"
+)
+
+func main() {
+	var (
+		app          = flag.String("app", "cassandra", "application (twigsim -list shows all)")
+		scheme       = flag.String("scheme", "twig", "baseline|ideal|twig|shotgun|confluence")
+		input        = flag.Int("input", 0, "input configuration number (0-3)")
+		train        = flag.Int("train", 0, "Twig training input number")
+		instructions = flag.Int64("instructions", 1_000_000, "simulation window")
+		epoch        = flag.Int64("epoch", 100_000, "epoch length in committed instructions")
+		format       = flag.String("format", "table", "table|jsonl")
+		traceFile    = flag.String("trace", "", "write the structured event trace (JSON Lines) to this file")
+		metricsFile  = flag.String("metrics", "", `write the final Prometheus exposition to this file ("-" = stdout)`)
+		listen       = flag.String("listen", "", `serve the live stats endpoint on this address (e.g. ":8080") and keep serving after the run`)
+		bench        = flag.Bool("bench", false, "time full simulations instead of reporting epochs")
+		benchOut     = flag.String("o", "BENCH_pipeline.json", "benchmark output file (with -bench)")
+	)
+	flag.Parse()
+
+	if *bench {
+		if err := runBench(*app, *train, *instructions, *benchOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *epoch <= 0 {
+		fail(fmt.Errorf("-epoch must be positive"))
+	}
+
+	cfg := twig.DefaultConfig()
+	cfg.Instructions = *instructions
+	cfg.Epoch = *epoch
+	cfg.LiveAddr = *listen
+	if *metricsFile != "" {
+		cfg.CollectMetrics = true
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+
+	sys, err := twig.NewSystemTrained(twig.App(*app), *train, cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer sys.Close()
+
+	base, err := sys.Baseline(*input)
+	if err != nil {
+		fail(err)
+	}
+	res := base
+	if *scheme != "baseline" {
+		if res, err = runScheme(sys, *scheme, *input); err != nil {
+			fail(err)
+		}
+	}
+
+	switch *format {
+	case "table":
+		printTable(os.Stdout, *app, *scheme, *input, *epoch, base, res)
+	case "jsonl":
+		printJSONL(os.Stdout, base, res)
+	default:
+		fail(fmt.Errorf("unknown format %q (want table or jsonl)", *format))
+	}
+
+	if *metricsFile != "" {
+		var w io.Writer = os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := sys.WriteMetrics(w); err != nil {
+			fail(err)
+		}
+	}
+
+	if *listen != "" {
+		fmt.Fprintf(os.Stderr, "twigstat: serving live stats on http://%s (interrupt to exit)\n", sys.LiveAddr())
+		select {}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "twigstat:", err)
+	os.Exit(1)
+}
+
+func runScheme(sys *twig.System, scheme string, input int) (twig.Result, error) {
+	switch scheme {
+	case "baseline":
+		return sys.Baseline(input)
+	case "ideal":
+		return sys.IdealBTB(input)
+	case "twig":
+		return sys.Twig(input)
+	case "shotgun":
+		return sys.Shotgun(input)
+	case "confluence":
+		return sys.Confluence(input)
+	}
+	return twig.Result{}, fmt.Errorf("unknown scheme %q", scheme)
+}
+
+// epochs pairs the scheme's epochs with the baseline's so coverage can
+// be computed per epoch; the runs simulate the same window, but guard
+// against length skew anyway.
+func epochs(base, res twig.Result) int {
+	n := len(res.Epochs)
+	if len(base.Epochs) < n {
+		n = len(base.Epochs)
+	}
+	return n
+}
+
+func printTable(w io.Writer, app, scheme string, input int, epoch int64, base, res twig.Result) {
+	fmt.Fprintf(w, "# %s under %s, input #%d, epochs of %d instructions\n",
+		app, scheme, input, epoch)
+	tb := metrics.NewTable("epoch", "instr", "cycles", "IPC", "BTB-MPKI", "rst/KI", "L1i-MPKI", "cov%")
+	row := func(label string, e twig.EpochStats, cov float64) {
+		tb.Row(label,
+			e.Instructions,
+			fmt.Sprintf("%.0f", e.Cycles),
+			fmt.Sprintf("%.3f", e.IPC),
+			e.BTBMPKI,
+			rate(e.Resteers, e.Instructions),
+			rate(e.ICacheMisses, e.Instructions),
+			fmt.Sprintf("%+.1f", cov))
+	}
+	for i := 0; i < epochs(base, res); i++ {
+		e := res.Epochs[i]
+		cov := metrics.CoverageSigned(base.Epochs[i].BTBMisses, e.BTBMisses)
+		row(fmt.Sprintf("%d", e.Epoch), e, cov)
+	}
+	row("total", twig.EpochStats{
+		Instructions: res.Instructions,
+		Cycles:       res.Cycles,
+		IPC:          res.IPC,
+		BTBMPKI:      res.BTBMPKI,
+		Resteers:     sumResteers(res),
+		ICacheMisses: sumICache(res),
+	}, twig.CoverageSigned(base, res))
+	fmt.Fprint(w, tb.String())
+}
+
+func printJSONL(w io.Writer, base, res twig.Result) {
+	for i := 0; i < epochs(base, res); i++ {
+		e := res.Epochs[i]
+		cov := metrics.CoverageSigned(base.Epochs[i].BTBMisses, e.BTBMisses)
+		fmt.Fprintf(w,
+			`{"epoch":%d,"instructions":%d,"cycles":%.0f,"ipc":%.3f,"btb_mpki":%.2f,"resteer_pki":%.2f,"icache_mpki":%.2f,"coverage_pct":%.1f}`+"\n",
+			e.Epoch, e.Instructions, e.Cycles, e.IPC, e.BTBMPKI,
+			rate(e.Resteers, e.Instructions), rate(e.ICacheMisses, e.Instructions), cov)
+	}
+}
+
+// rate returns events per kilo-instruction.
+func rate(n, instructions int64) float64 {
+	if instructions <= 0 {
+		return 0
+	}
+	return float64(n) / float64(instructions) * 1000
+}
+
+func sumResteers(r twig.Result) int64 {
+	var s int64
+	for _, e := range r.Epochs {
+		s += e.Resteers
+	}
+	return s
+}
+
+func sumICache(r twig.Result) int64 {
+	var s int64
+	for _, e := range r.Epochs {
+		s += e.ICacheMisses
+	}
+	return s
+}
+
+// benchResult is one scheme's timing in the -bench output.
+type benchResult struct {
+	Scheme  string  `json:"scheme"`
+	NsPerOp int64   `json:"ns_per_op"`
+	SimKIPS float64 `json:"sim_kips"`
+}
+
+// runBench times a full simulation per scheme (best of three after one
+// warmup run) and writes BENCH_pipeline.json.
+func runBench(app string, train int, instructions int64, out string) error {
+	cfg := twig.DefaultConfig()
+	cfg.Instructions = instructions
+	sys, err := twig.NewSystemTrained(twig.App(app), train, cfg)
+	if err != nil {
+		return err
+	}
+	schemes := []struct {
+		name string
+		run  func() (twig.Result, error)
+	}{
+		{"baseline", func() (twig.Result, error) { return sys.Baseline(0) }},
+		{"twig", func() (twig.Result, error) { return sys.Twig(0) }},
+		{"shotgun", func() (twig.Result, error) { return sys.Shotgun(0) }},
+	}
+	results := make([]benchResult, 0, len(schemes))
+	for _, s := range schemes {
+		if _, err := s.run(); err != nil { // warmup
+			return err
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := s.run(); err != nil {
+				return err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		results = append(results, benchResult{
+			Scheme:  s.name,
+			NsPerOp: best.Nanoseconds(),
+			SimKIPS: float64(instructions) / best.Seconds() / 1000,
+		})
+		fmt.Printf("%-10s %12d ns/op  %10.0f sim-kIPS\n",
+			s.name, best.Nanoseconds(), float64(instructions)/best.Seconds()/1000)
+	}
+	payload := struct {
+		Benchmark    string        `json:"benchmark"`
+		App          string        `json:"app"`
+		Instructions int64         `json:"instructions"`
+		Results      []benchResult `json:"results"`
+	}{"pipeline", app, instructions, results}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}

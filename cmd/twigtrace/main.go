@@ -18,6 +18,7 @@ import (
 	"twig/internal/btb"
 	"twig/internal/pipeline"
 	"twig/internal/prefetcher"
+	"twig/internal/telemetry"
 	"twig/internal/trace"
 	"twig/internal/workload"
 )
@@ -31,6 +32,8 @@ func main() {
 		n      = flag.Int64("n", 1_000_000, "instructions to record/replay")
 		out    = flag.String("o", "app.trc", "output trace file (with -record)")
 		scheme = flag.String("scheme", "baseline", "baseline|ideal|shotgun|confluence (with -replay)")
+		epoch  = flag.Int64("epoch", 0, "sample metrics every N instructions and print per-epoch IPC (with -replay)")
+		events = flag.String("events", "", "write the structured event trace (JSON Lines) to this file (with -replay)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,15 @@ func main() {
 		cfg.MaxInstructions = *n
 		cfg.BackendCPI = params.BackendCPI
 		cfg.CondMispredictRate = params.CondMispredictRate
+		cfg.Telemetry.EpochLength = *epoch
+		if *events != "" {
+			ef, err := os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			defer ef.Close()
+			cfg.Telemetry.Tracer = telemetry.NewTracer(ef)
+		}
 		switch *scheme {
 		case "baseline":
 			cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
@@ -90,6 +102,16 @@ func main() {
 		}
 		fmt.Printf("replayed %d instructions under %s: IPC %.3f, BTB MPKI %.2f, frontend-bound %.0f%%\n",
 			res.Original, *scheme, res.IPC(), res.MPKI(), res.FrontendBoundFrac()*100)
+		if s := res.Series; s != nil {
+			cyc := s.Col("pipeline_cycles")
+			for e := 0; e < s.Len(); e++ {
+				ipc := 0.0
+				if d := s.Delta(e, cyc); d > 0 {
+					ipc = float64(s.DeltaInstructions(e)) / d
+				}
+				fmt.Printf("epoch %-3d  IPC %.3f\n", e+1, ipc)
+			}
+		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "twigtrace: pass -record or -replay FILE")

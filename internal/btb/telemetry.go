@@ -1,0 +1,33 @@
+package btb
+
+import (
+	"strings"
+
+	"twig/internal/isa"
+	"twig/internal/telemetry"
+)
+
+// branchKinds are the kinds a BTB lookup can observe; regular and
+// prefetch instructions never reach the BTB.
+var branchKinds = []isa.Kind{
+	isa.KindCondBranch, isa.KindJump, isa.KindCall,
+	isa.KindIndirectJump, isa.KindIndirectCall, isa.KindReturn,
+}
+
+// Register publishes the stats counters into the registry as gauges
+// reading live values: per-kind access/miss counts plus the direct and
+// total aggregates (prefix_accesses_cond, prefix_direct_misses, ...).
+// Gauges read s at sample time, so one registration observes the whole
+// run; re-registering (a later run reusing the registry) rebinds them.
+func (s *Stats) Register(reg *telemetry.Registry, prefix string) {
+	for _, k := range branchKinds {
+		k := k
+		name := strings.ReplaceAll(k.String(), "-", "_")
+		reg.GaugeInt(prefix+"_accesses_"+name, func() int64 { return s.Accesses[k] })
+		reg.GaugeInt(prefix+"_misses_"+name, func() int64 { return s.Misses[k] })
+	}
+	reg.GaugeInt(prefix+"_direct_accesses", s.DirectAccesses)
+	reg.GaugeInt(prefix+"_direct_misses", s.DirectMisses)
+	reg.GaugeInt(prefix+"_total_accesses", s.TotalAccesses)
+	reg.GaugeInt(prefix+"_total_misses", s.TotalMisses)
+}

@@ -1,0 +1,18 @@
+package cache
+
+import "twig/internal/telemetry"
+
+// Register publishes the cache's demand counters into the registry as
+// live-reading gauges named prefix_accesses / prefix_misses.
+func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
+	reg.GaugeInt(prefix+"_accesses", func() int64 { return c.Accesses })
+	reg.GaugeInt(prefix+"_misses", func() int64 { return c.Misses })
+}
+
+// Register publishes all three levels' demand counters under
+// prefix_l1 / prefix_l2 / prefix_l3.
+func (h *Hierarchy) Register(reg *telemetry.Registry, prefix string) {
+	h.L1.Register(reg, prefix+"_l1")
+	h.L2.Register(reg, prefix+"_l2")
+	h.L3.Register(reg, prefix+"_l3")
+}

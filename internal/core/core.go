@@ -46,6 +46,11 @@ type Options struct {
 	PrefetchBuffer int
 	// SampleRate is the profiler's miss sampling rate (1 = every miss).
 	SampleRate int
+	// Telemetry configures observability for evaluation runs (registry,
+	// epoch series, event trace). Profiling runs never carry telemetry:
+	// BuildAndOptimize zeroes it so training cannot perturb or pollute
+	// the measured stream.
+	Telemetry pipeline.Telemetry
 	// ProfileInstructions is the training-run length. Zero means twice
 	// the evaluation window — production profiles cover far more
 	// execution than any simulated window, and rarely-missing branches
@@ -83,6 +88,7 @@ func machineConfig(opts Options, params workload.Params) pipeline.Config {
 	cfg := opts.Pipeline
 	cfg.BackendCPI = params.BackendCPI
 	cfg.CondMispredictRate = params.CondMispredictRate
+	cfg.Telemetry = opts.Telemetry
 	return cfg
 }
 
@@ -98,6 +104,7 @@ func BuildAndOptimize(app workload.App, trainInput int, opts Options) (*Artifact
 		return nil, err
 	}
 	cfg := machineConfig(opts, params)
+	cfg.Telemetry = pipeline.Telemetry{} // training runs are not observed
 	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
 	if opts.ProfileInstructions > 0 {
 		cfg.MaxInstructions = opts.ProfileInstructions

@@ -19,16 +19,26 @@ func Speedup(base, ipc float64) float64 {
 	return (ipc/base - 1) * 100
 }
 
-// Coverage returns the percentage of baseline misses eliminated.
+// Coverage returns the percentage of baseline misses eliminated,
+// clamped at zero — the headline number the paper's figures report,
+// where a configuration that adds misses simply shows no coverage.
 func Coverage(baselineMisses, misses int64) float64 {
-	if baselineMisses == 0 {
-		return 0
-	}
-	c := float64(baselineMisses-misses) / float64(baselineMisses) * 100
+	c := CoverageSigned(baselineMisses, misses)
 	if c < 0 {
 		return 0
 	}
 	return c
+}
+
+// CoverageSigned is Coverage without the clamp: negative values mean
+// the configuration suffered more misses than the baseline. Per-epoch
+// diagnostics (twigstat) need the sign — a phase where prefetching
+// pollutes the BTB should read as negative coverage, not as zero.
+func CoverageSigned(baselineMisses, misses int64) float64 {
+	if baselineMisses == 0 {
+		return 0
+	}
+	return float64(baselineMisses-misses) / float64(baselineMisses) * 100
 }
 
 // PercentOfIdeal expresses a configuration's speedup as a share of the

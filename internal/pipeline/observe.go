@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"twig/internal/prefetcher"
+	"twig/internal/telemetry"
+)
+
+// ResteerCause classifies a frontend redirect for the OnResteer hook
+// and the event trace.
+type ResteerCause uint8
+
+// Resteer causes, in discovery order: BTB misses resteer from decode,
+// the rest from execute.
+const (
+	// ResteerBTBMiss is a decode-time resteer from a taken direct
+	// branch missing the BTB.
+	ResteerBTBMiss ResteerCause = iota
+	// ResteerCond is an execute-time direction mispredict.
+	ResteerCond
+	// ResteerRAS is an execute-time return-address mispredict.
+	ResteerRAS
+	// ResteerIBTB is an execute-time indirect-target mispredict.
+	ResteerIBTB
+)
+
+// String implements fmt.Stringer with the trace-schema cause names.
+func (c ResteerCause) String() string {
+	switch c {
+	case ResteerBTBMiss:
+		return telemetry.CauseBTBMiss
+	case ResteerCond:
+		return telemetry.CauseCond
+	case ResteerRAS:
+		return telemetry.CauseRAS
+	case ResteerIBTB:
+		return telemetry.CauseIBTB
+	}
+	return "resteer(?)"
+}
+
+// PrefetchEvent classifies a software-prefetch lifecycle event for the
+// OnPrefetch hook.
+type PrefetchEvent uint8
+
+// Prefetch lifecycle events.
+const (
+	// PrefetchIssued: a brprefetch/brcoalesce staged an entry.
+	PrefetchIssued PrefetchEvent = iota
+	// PrefetchDropped: the staged entry was redundant (already
+	// demand- or buffer-resident) and was dropped.
+	PrefetchDropped
+	// PrefetchUsed: a demand lookup was served by a prefetched entry.
+	PrefetchUsed
+	// PrefetchLate: the used entry had not finished arriving (fires in
+	// addition to PrefetchUsed).
+	PrefetchLate
+)
+
+// String implements fmt.Stringer.
+func (e PrefetchEvent) String() string {
+	switch e {
+	case PrefetchIssued:
+		return "issued"
+	case PrefetchDropped:
+		return "dropped"
+	case PrefetchUsed:
+		return "used"
+	case PrefetchLate:
+		return "late"
+	}
+	return "prefetch(?)"
+}
+
+// Telemetry configures a run's observability. The zero value disables
+// everything and costs nothing on the hot path.
+type Telemetry struct {
+	// Registry receives the pipeline's counters plus the scheme's and
+	// cache hierarchy's stats as live-reading gauges. nil with
+	// EpochLength > 0 creates a private registry for the series.
+	Registry *telemetry.Registry
+	// EpochLength, when > 0, snapshots every registered metric each
+	// EpochLength committed original instructions into Result.Series.
+	// The final epoch may be partial.
+	EpochLength int64
+	// Tracer, when non-nil, receives the typed event stream of the
+	// measured window (warmup is not traced). The pipeline flushes it
+	// when the run completes.
+	Tracer *telemetry.Tracer
+}
+
+// enabled reports whether any telemetry output was requested.
+func (t *Telemetry) enabled() bool {
+	return t.Registry != nil || t.EpochLength > 0 || t.Tracer != nil
+}
+
+// telemetryState is the per-run observability state hanging off the
+// simulator.
+type telemetryState struct {
+	reg      *telemetry.Registry
+	sampler  *telemetry.Sampler
+	tracer   *telemetry.Tracer
+	epochLen int64
+	epoch    int64 // epochs emitted (1-based label of the last tick)
+	nextTick int64 // measured-instruction count of the next boundary
+	lastTick int64 // measured-instruction count of the last tick
+
+	// missLead distributes the FDIP run-ahead lead observed at demand
+	// L1i misses; pfLate distributes the residual wait of late
+	// prefetch-buffer hits. Both power-of-two-bucketed, cycles.
+	missLead *telemetry.Histogram
+	pfLate   *telemetry.Histogram
+}
+
+// setupTelemetry builds the run's telemetry state and publishes every
+// layer's counters into the registry. Called once before simulation.
+func (s *simulator) setupTelemetry() {
+	t := &s.cfg.Telemetry
+	if !t.enabled() {
+		return
+	}
+	reg := t.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	// Pipeline counters, warm-adjusted so they read measured-window
+	// values (the warm snapshot is zero until the warmup boundary).
+	reg.GaugeInt("pipeline_instructions", func() int64 { return s.res.Original - s.warmSnap.Original })
+	reg.GaugeInt("pipeline_injected_instructions", func() int64 { return s.res.InjectedExecuted - s.warmSnap.InjectedExecuted })
+	reg.Gauge("pipeline_cycles", func() float64 { return s.retireC - s.warmCycles })
+	reg.Gauge("pipeline_ipc", func() float64 {
+		if c := s.retireC - s.warmCycles; c > 0 {
+			return float64(s.res.Original-s.warmSnap.Original) / c
+		}
+		return 0
+	})
+	reg.GaugeInt("pipeline_btb_resteers", func() int64 { return s.res.BTBResteers - s.warmSnap.BTBResteers })
+	reg.GaugeInt("pipeline_cond_mispredicts", func() int64 { return s.res.CondMispredicts - s.warmSnap.CondMispredicts })
+	reg.GaugeInt("pipeline_ras_mispredicts", func() int64 { return s.res.RASMispredicts - s.warmSnap.RASMispredicts })
+	reg.GaugeInt("pipeline_ibtb_mispredicts", func() int64 { return s.res.IBTBMispredicts - s.warmSnap.IBTBMispredicts })
+	reg.GaugeInt("pipeline_covered_misses", func() int64 { return s.res.CoveredMisses - s.warmSnap.CoveredMisses })
+	reg.GaugeInt("pipeline_late_covered_misses", func() int64 { return s.res.LateCoveredMisses - s.warmSnap.LateCoveredMisses })
+	reg.Gauge("pipeline_icache_stall_cycles", func() float64 { return s.res.ICacheStallCycles - s.warmSnap.ICacheStallCycles })
+	reg.Gauge("pipeline_bpu_wait_cycles", func() float64 { return s.res.BPUWaitCycles - s.warmSnap.BPUWaitCycles })
+
+	// Structure counters published by their own packages (raw
+	// cumulative; the series' base row makes epoch deltas exact).
+	s.hier.Register(reg, "icache")
+	prefetcher.Register(reg, s.scheme)
+
+	st := &telemetryState{
+		reg:      reg,
+		tracer:   t.Tracer,
+		epochLen: t.EpochLength,
+		missLead: reg.Histogram("pipeline_miss_lead_cycles"),
+		pfLate:   reg.Histogram("pipeline_prefetch_late_cycles"),
+	}
+	if t.EpochLength > 0 {
+		st.sampler = telemetry.NewSampler(reg, t.EpochLength)
+	}
+	s.tel = st
+}
+
+// telBegin marks measurement start (warmup boundary): it captures the
+// series' base row and arms the tracer — warmup is neither sampled nor
+// traced.
+func (s *simulator) telBegin() {
+	t := s.tel
+	if t == nil {
+		return
+	}
+	if t.sampler != nil {
+		t.sampler.Begin()
+	}
+	t.nextTick = t.epochLen
+	s.trace = t.tracer
+}
+
+// telTick emits one epoch boundary: sample the registry, mark the
+// trace, fire the hook. mi is the cumulative measured original
+// instruction count.
+func (s *simulator) telTick(hooks *Hooks, mi int64) {
+	t := s.tel
+	t.epoch++
+	t.lastTick = mi
+	cyc := s.retireC - s.warmCycles
+	if t.sampler != nil {
+		t.sampler.Sample(mi)
+	}
+	if s.trace != nil {
+		s.trace.EpochMark(t.epoch, mi, cyc)
+	}
+	if hooks.OnEpoch != nil {
+		hooks.OnEpoch(t.epoch, mi, cyc)
+	}
+}
+
+// observeInsert reports a software-prefetch insertion's outcome to the
+// hooks and the event trace. During warmup the hooks are zeroed and the
+// tracer is not yet armed, so this is inert there.
+func (s *simulator) observeInsert(hooks *Hooks, out prefetcher.InsertOutcome, branchPC uint64, ready float64) {
+	if out == prefetcher.InsertIgnored {
+		return
+	}
+	cycle := s.bpuC
+	mi := s.res.Original - s.cfg.Warmup
+	if out == prefetcher.InsertStaged {
+		if hooks.OnPrefetch != nil {
+			hooks.OnPrefetch(PrefetchIssued, branchPC, cycle)
+		}
+		if s.trace != nil {
+			s.trace.PrefetchIssue(mi, cycle, branchPC, ready)
+		}
+		return
+	}
+	if hooks.OnPrefetch != nil {
+		hooks.OnPrefetch(PrefetchDropped, branchPC, cycle)
+	}
+	if s.trace != nil {
+		s.trace.PrefetchDrop(mi, cycle, branchPC)
+	}
+}
+
+// telSeries returns the sampled series, or nil when sampling was off.
+func (s *simulator) telSeries() *telemetry.Series {
+	if s.tel == nil || s.tel.sampler == nil {
+		return nil
+	}
+	return s.tel.sampler.Series()
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"twig/internal/btb"
+	"twig/internal/prefetcher"
+	"twig/internal/telemetry"
+	"twig/internal/workload"
+)
+
+// benchConfig is the default 1M-instruction cassandra baseline — the
+// configuration the observability overhead budget is specified against.
+func benchConfig(tb testing.TB, telemetryOn bool) (Config, func() (*Result, error)) {
+	tb.Helper()
+	params, err := workload.ParamsFor(workload.Cassandra)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := workload.Build(params)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 1_000_000
+	cfg.BackendCPI = params.BackendCPI
+	cfg.CondMispredictRate = params.CondMispredictRate
+	cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	if telemetryOn {
+		cfg.Telemetry.Registry = telemetry.NewRegistry()
+		cfg.Telemetry.EpochLength = 100_000
+		cfg.Telemetry.Tracer = telemetry.NewTracer(io.Discard)
+	}
+	return cfg, func() (*Result, error) { return Run(p, params.InputPhase(0, 1), cfg) }
+}
+
+// TestTelemetryOverhead bounds the end-to-end cost of full
+// observability — registry, epoch series, and event tracing to
+// io.Discard — on the default 1M-instruction cassandra baseline run
+// (~80k trace events). The tracer's formatter runs on its own
+// goroutine, so with a spare CPU the simulation thread only pays the
+// binary-event append and the budget is 10%. On a single-CPU machine
+// rendering serializes with the simulation and costs ~80ns/event
+// (~11% here), so the budget widens to 25%.
+//
+// Timing comparisons are inherently noisy; runs are interleaved, each
+// side keeps its best time, and the test retries before failing.
+func TestTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing comparison")
+	}
+	bound := 0.10
+	if runtime.GOMAXPROCS(0) == 1 {
+		bound = 0.25
+	}
+
+	_, base := benchConfig(t, false)
+	_, full := benchConfig(t, true)
+	run := func(f func() (*Result, error)) time.Duration {
+		start := time.Now()
+		if _, err := f(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	run(base) // warm caches and the page allocator
+	run(full)
+
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		bBest := time.Duration(1<<63 - 1)
+		fBest := bBest
+		for i := 0; i < 5; i++ {
+			if d := run(base); d < bBest {
+				bBest = d
+			}
+			if d := run(full); d < fBest {
+				fBest = d
+			}
+		}
+		ratio = float64(fBest)/float64(bBest) - 1
+		if ratio < bound {
+			return
+		}
+	}
+	t.Errorf("telemetry overhead %.1f%% >= %.0f%%", ratio*100, bound*100)
+}
+
+// BenchmarkPipelineBaseline and BenchmarkPipelineTelemetry are the
+// benchmark pair behind the overhead budget: compare their ns/op to see
+// what full observability costs.
+func BenchmarkPipelineBaseline(b *testing.B) { benchmarkPipeline(b, false) }
+
+// BenchmarkPipelineTelemetry runs the same simulation with the registry,
+// epoch sampler, and event tracer (to io.Discard) all enabled.
+func BenchmarkPipelineTelemetry(b *testing.B) { benchmarkPipeline(b, true) }
+
+func benchmarkPipeline(b *testing.B, telemetryOn bool) {
+	_, run := benchConfig(b, telemetryOn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"twig/internal/isa"
 	"twig/internal/prefetcher"
 	"twig/internal/program"
+	"twig/internal/telemetry"
 )
 
 // Config parameterizes one simulation run.
@@ -119,6 +120,10 @@ type Config struct {
 	Scheme prefetcher.Scheme
 	// Hooks receive profiling events; zero-value disables them.
 	Hooks Hooks
+	// Telemetry configures the run's observability: metric registry
+	// publication, epoch sampling into Result.Series, and structured
+	// event tracing. Zero-value disables it all.
+	Telemetry Telemetry
 }
 
 // DefaultConfig returns Table 1's configuration with the latencies used
@@ -157,6 +162,22 @@ type Hooks struct {
 	OnBTBMiss func(branchIdx int32, cycle float64)
 	// OnBlockEnter fires when execution enters a basic block.
 	OnBlockEnter func(blockID int32)
+	// OnResteer fires for every frontend redirect with its cause; the
+	// ResteerBTBMiss count matches Result.BTBResteers, the execute-time
+	// causes match Cond/RAS/IBTBMispredicts.
+	OnResteer func(cause ResteerCause, branchIdx int32, cycle float64)
+	// OnPrefetch fires for software-prefetch lifecycle events: the
+	// PrefetchUsed count matches Result.CoveredMisses and the
+	// PrefetchLate count Result.LateCoveredMisses.
+	OnPrefetch func(ev PrefetchEvent, branchPC uint64, cycle float64)
+	// OnICacheMiss fires per demand L1i miss with the FDIP run-ahead
+	// lead (fetch minus BPU clock); its count matches
+	// Result.ICacheMisses.
+	OnICacheMiss func(line uint64, lead, cycle float64)
+	// OnEpoch fires at each epoch boundary (Telemetry.EpochLength)
+	// with the 1-based epoch number, the cumulative measured
+	// instruction count, and the measured-window cycle.
+	OnEpoch func(epoch, instructions int64, cycle float64)
 }
 
 // Result summarizes one run.
@@ -195,6 +216,9 @@ type Result struct {
 	// clock) observed at each demand L1i miss; MissLeadSum/ICacheMisses
 	// is the mean hiding capacity — a model diagnostic.
 	MissLeadSum float64
+	// Series is the epoch time series sampled from the metric registry
+	// (nil unless Config.Telemetry.EpochLength was set).
+	Series *telemetry.Series
 }
 
 // IPC returns original instructions per cycle — injected prefetches are
@@ -276,7 +300,13 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 		inflight: make(map[uint64]fill, 64),
 	}
 	scheme.Attach(sim)
+	sim.setupTelemetry()
 	sim.run()
+	if t := cfg.Telemetry.Tracer; t != nil {
+		if err := t.Flush(); err != nil {
+			return nil, fmt.Errorf("pipeline: flushing event trace: %w", err)
+		}
+	}
 
 	// Assemble the measured window's statistics, subtracting whatever
 	// accumulated during warmup.
@@ -310,6 +340,7 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 	}
 	res.ICacheAccesses = sim.hier.L1.Accesses - sim.warmL1Acc
 	res.ICacheMisses = sim.hier.L1.Misses - sim.warmL1Miss
+	res.Series = sim.telSeries()
 	return &res, nil
 }
 
@@ -358,6 +389,12 @@ type simulator struct {
 
 	lastLine uint64
 
+	// tel is the run's telemetry state (nil when disabled); trace is
+	// the armed tracer — nil until the warmup boundary, so warmup is
+	// never traced.
+	tel   *telemetryState
+	trace *telemetry.Tracer
+
 	res Result
 
 	// Warmup-boundary snapshots, subtracted from the final statistics.
@@ -396,6 +433,8 @@ func (s *simulator) run() {
 	hooks := cfg.Hooks
 	if !warmed {
 		hooks = Hooks{} // hooks observe only the measured window
+	} else {
+		s.telBegin()
 	}
 	total := cfg.Warmup + cfg.MaxInstructions
 	for s.res.Original < total {
@@ -407,6 +446,7 @@ func (s *simulator) run() {
 			s.warmPf = s.scheme.PrefetchStats()
 			s.warmL1Acc, s.warmL1Miss = s.hier.L1.Accesses, s.hier.L1.Misses
 			s.warmCycles = s.retireC
+			s.telBegin()
 		}
 		s.src.Next(&st)
 		in := &p.Instrs[st.Idx]
@@ -457,9 +497,21 @@ func (s *simulator) run() {
 			res := s.scheme.Lookup(in.PC, kind, s.bpuC, st.Taken)
 			if res.FromPrefetch {
 				s.res.CoveredMisses++
+				if hooks.OnPrefetch != nil {
+					hooks.OnPrefetch(PrefetchUsed, in.PC, s.bpuC)
+				}
 				if res.LateBy > 0 {
 					s.res.LateCoveredMisses++
 					lookupLate = res.LateBy
+					if hooks.OnPrefetch != nil {
+						hooks.OnPrefetch(PrefetchLate, in.PC, s.bpuC)
+					}
+					if s.tel != nil && warmed {
+						s.tel.pfLate.Observe(res.LateBy)
+					}
+				}
+				if s.trace != nil {
+					s.trace.PrefetchUse(s.res.Original-cfg.Warmup, s.bpuC, in.PC, res.LateBy)
 				}
 			}
 			// Only direct-branch misses resteer from decode: returns
@@ -538,7 +590,8 @@ func (s *simulator) run() {
 			}
 			if lat > 0 {
 				s.scheme.OnLineMiss(line, fstart)
-				s.res.MissLeadSum += fstart - bpuTime
+				lead := fstart - bpuTime
+				s.res.MissLeadSum += lead
 				exposed := lat
 				if cfg.FDIP {
 					// FDIP issued the prefetch when the BPU enqueued
@@ -555,6 +608,17 @@ func (s *simulator) run() {
 				if exposed > 0 {
 					s.res.ICacheStallCycles += exposed
 					fstart += exposed
+				} else {
+					exposed = 0
+				}
+				if hooks.OnICacheMiss != nil {
+					hooks.OnICacheMiss(line, lead, fstart)
+				}
+				if s.tel != nil && warmed {
+					s.tel.missLead.Observe(lead)
+				}
+				if s.trace != nil {
+					s.trace.ICacheMiss(s.res.Original-cfg.Warmup, fstart, line, lead, exposed)
 				}
 			}
 			s.pendIssue = -1
@@ -596,6 +660,7 @@ func (s *simulator) run() {
 
 		// ---- Resolution, training, and resteers --------------------------
 		var execMispredict bool
+		var execCause ResteerCause
 		if isBranch {
 			var target uint64
 			switch kind {
@@ -609,6 +674,7 @@ func (s *simulator) run() {
 				}
 				if wrong {
 					execMispredict = true
+					execCause = ResteerCond
 					s.res.CondMispredicts++
 				}
 			case isa.KindJump, isa.KindCall:
@@ -624,11 +690,13 @@ func (s *simulator) run() {
 			case isa.KindReturn:
 				if !s.ras.PredictReturn(target) {
 					execMispredict = true
+					execCause = ResteerRAS
 					s.res.RASMispredicts++
 				}
 			case isa.KindIndirectJump, isa.KindIndirectCall:
 				if !s.ibtb.Predict(in.PC, target) {
 					execMispredict = true
+					execCause = ResteerIBTB
 					s.res.IBTBMispredicts++
 				}
 			}
@@ -643,6 +711,14 @@ func (s *simulator) run() {
 				if kind.IsDirect() && hooks.OnBTBMiss != nil {
 					hooks.OnBTBMiss(st.Idx, s.fetchC)
 				}
+				if hooks.OnResteer != nil {
+					hooks.OnResteer(ResteerBTBMiss, st.Idx, s.fetchC)
+				}
+				if s.trace != nil {
+					mi := s.res.Original - cfg.Warmup
+					s.trace.BTBMiss(mi, s.fetchC, in.PC, kind.String())
+					s.trace.Resteer(mi, s.fetchC, telemetry.CauseBTBMiss, in.PC)
+				}
 				if t := s.fetchC + cfg.DecodeResteer; t > s.bpuC {
 					s.bpuC = t
 				}
@@ -650,6 +726,12 @@ func (s *simulator) run() {
 				s.pendIssue = s.fetchC
 			}
 			if execMispredict {
+				if hooks.OnResteer != nil {
+					hooks.OnResteer(execCause, st.Idx, s.fetchC)
+				}
+				if s.trace != nil {
+					s.trace.Resteer(s.res.Original-cfg.Warmup, s.fetchC, execCause.String(), in.PC)
+				}
 				if t := s.fetchC + cfg.ExecResteer; t > s.bpuC {
 					s.bpuC = t
 				}
@@ -674,7 +756,9 @@ func (s *simulator) run() {
 		// approximation.)
 		if kind == isa.KindBrPrefetch {
 			br := p.InstrByID(in.Target)
-			s.scheme.InsertPrefetch(br.PC, p.PCOf(br.Target), br.Kind, bpuTime+cfg.BrPrefetchLatency)
+			ready := bpuTime + cfg.BrPrefetchLatency
+			out := s.scheme.InsertPrefetch(br.PC, p.PCOf(br.Target), br.Kind, ready)
+			s.observeInsert(&hooks, out, br.PC, ready)
 		} else if kind == isa.KindBrCoalesce {
 			mask := p.CoalesceMasks[in.Aux]
 			ready := bpuTime + cfg.CoalesceLoadLatency
@@ -688,7 +772,8 @@ func (s *simulator) run() {
 				}
 				pair := p.CoalesceTable[slotIdx]
 				br := p.InstrByID(pair.Branch)
-				s.scheme.InsertPrefetch(br.PC, p.PCOf(pair.Target), br.Kind, ready)
+				out := s.scheme.InsertPrefetch(br.PC, p.PCOf(pair.Target), br.Kind, ready)
+				s.observeInsert(&hooks, out, br.PC, ready)
 			}
 		}
 
@@ -702,8 +787,22 @@ func (s *simulator) run() {
 			s.rob[(s.robHead+s.robLen)%len(s.rob)] = rc
 			s.robLen++
 		}
+
+		// ---- Epoch boundary ----------------------------------------------
+		if s.tel != nil && warmed && s.tel.epochLen > 0 {
+			if mi := s.res.Original - cfg.Warmup; mi >= s.tel.nextTick {
+				s.telTick(&hooks, mi)
+				s.tel.nextTick += s.tel.epochLen
+			}
+		}
 	}
 	s.res.Cycles = s.retireC
+	// Final partial epoch, so the series always covers the full run.
+	if s.tel != nil && s.tel.epochLen > 0 {
+		if mi := s.res.Original - cfg.Warmup; mi > s.tel.lastTick {
+			s.telTick(&hooks, mi)
+		}
+	}
 }
 
 func (s *simulator) flushFTQ() {

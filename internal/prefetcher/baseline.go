@@ -85,12 +85,13 @@ func (s *Baseline) OnLineMiss(uint64, float64) {}
 // InsertPrefetch implements Scheme: stage a software-prefetched entry.
 // Entries already demand-resident are dropped as redundant (they would
 // waste buffer space and distort accuracy accounting).
-func (s *Baseline) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) {
+func (s *Baseline) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) InsertOutcome {
 	if s.b.Probe(pc) || s.buf.Contains(pc) {
 		s.redundant++
-		return
+		return InsertRedundant
 	}
 	s.buf.Insert(pc, target, kind, ready)
+	return InsertStaged
 }
 
 // ProbeDemand implements Scheme.

@@ -92,7 +92,9 @@ func (s *Boomerang) OnFetchLine(line uint64, cycle float64) {
 func (s *Boomerang) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme; no software interface.
-func (s *Boomerang) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (s *Boomerang) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome {
+	return InsertIgnored
+}
 
 // ProbeDemand implements Scheme.
 func (s *Boomerang) ProbeDemand(pc uint64) bool { return s.b.probe(pc) >= 0 }

@@ -135,7 +135,9 @@ func (s *BulkPreload) OnFetchLine(uint64, float64) {}
 func (s *BulkPreload) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme; no software interface.
-func (s *BulkPreload) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (s *BulkPreload) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome {
+	return InsertIgnored
+}
 
 // ProbeDemand implements Scheme.
 func (s *BulkPreload) ProbeDemand(pc uint64) bool { return s.l1.probe(pc) >= 0 }

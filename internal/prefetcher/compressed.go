@@ -166,12 +166,13 @@ func (c *Compressed) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme: the Twig runtime feeds the buffer
 // exactly as with the conventional baseline.
-func (c *Compressed) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) {
+func (c *Compressed) InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) InsertOutcome {
 	if c.ProbeDemand(pc) || c.buf.Contains(pc) {
 		c.redund++
-		return
+		return InsertRedundant
 	}
 	c.buf.Insert(pc, target, kind, ready)
+	return InsertStaged
 }
 
 // ProbeDemand implements Scheme.

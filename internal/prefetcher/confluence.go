@@ -154,7 +154,9 @@ func (c *Confluence) OnLineMiss(line uint64, cycle float64) {
 }
 
 // InsertPrefetch implements Scheme; no software prefetch interface.
-func (c *Confluence) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (c *Confluence) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome {
+	return InsertIgnored
+}
 
 // ProbeDemand implements Scheme.
 func (c *Confluence) ProbeDemand(pc uint64) bool { return c.b.probe(pc) >= 0 }

@@ -38,7 +38,7 @@ func (s *Ideal) OnFetchLine(uint64, float64) {}
 func (s *Ideal) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme; prefetching an ideal BTB is a no-op.
-func (s *Ideal) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (s *Ideal) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome { return InsertIgnored }
 
 // ProbeDemand implements Scheme.
 func (s *Ideal) ProbeDemand(uint64) bool { return true }

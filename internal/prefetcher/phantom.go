@@ -164,7 +164,9 @@ func (s *Phantom) OnFetchLine(uint64, float64) {}
 func (s *Phantom) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme; no software interface.
-func (s *Phantom) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (s *Phantom) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome {
+	return InsertIgnored
+}
 
 // ProbeDemand implements Scheme.
 func (s *Phantom) ProbeDemand(pc uint64) bool { return s.b.Probe(pc) }

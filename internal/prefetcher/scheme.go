@@ -51,6 +51,23 @@ type Resolution struct {
 	Cycle float64
 }
 
+// InsertOutcome classifies what a scheme did with a software prefetch,
+// so observers (the event tracer, pipeline hooks) can distinguish real
+// issues from redundant drops without re-probing scheme internals.
+type InsertOutcome uint8
+
+// InsertPrefetch outcomes.
+const (
+	// InsertStaged means the entry was staged in the prefetch buffer.
+	InsertStaged InsertOutcome = iota
+	// InsertRedundant means the entry was dropped because it was
+	// already demand- or buffer-resident.
+	InsertRedundant
+	// InsertIgnored means the scheme has no software prefetch
+	// interface.
+	InsertIgnored
+)
+
 // LookupResult describes a BTB lookup outcome.
 type LookupResult struct {
 	// Hit reports whether the demand lookup hit the scheme's BTB
@@ -87,9 +104,10 @@ type Scheme interface {
 	// prefetchers such as Confluence's SHIFT history).
 	OnLineMiss(line uint64, cycle float64)
 	// InsertPrefetch stages a software-prefetched BTB entry (Twig's
-	// brprefetch/brcoalesce execution). Schemes without an
-	// architectural prefetch buffer may ignore it.
-	InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64)
+	// brprefetch/brcoalesce execution) and reports what became of it.
+	// Schemes without an architectural prefetch buffer return
+	// InsertIgnored.
+	InsertPrefetch(pc, target uint64, kind isa.Kind, ready float64) InsertOutcome
 	// ProbeDemand reports whether pc is already demand-resident (used
 	// by the Twig runtime to classify redundant prefetches).
 	ProbeDemand(pc uint64) bool

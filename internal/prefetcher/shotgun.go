@@ -252,7 +252,9 @@ func (s *Shotgun) OnLineMiss(uint64, float64) {}
 
 // InsertPrefetch implements Scheme; Shotgun has no software prefetch
 // interface (brprefetch never appears in the binaries it runs).
-func (s *Shotgun) InsertPrefetch(uint64, uint64, isa.Kind, float64) {}
+func (s *Shotgun) InsertPrefetch(uint64, uint64, isa.Kind, float64) InsertOutcome {
+	return InsertIgnored
+}
 
 // ProbeDemand implements Scheme.
 func (s *Shotgun) ProbeDemand(pc uint64) bool {

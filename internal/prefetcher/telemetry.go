@@ -1,0 +1,16 @@
+package prefetcher
+
+import "twig/internal/telemetry"
+
+// Register publishes a scheme's counters into the registry: the
+// prefetch-effectiveness counters (prefetch_issued/used/late/redundant)
+// and the per-kind BTB demand stats (btb_*). Gauges read the scheme at
+// sample time, so registration happens once per run, before simulation.
+func Register(reg *telemetry.Registry, s Scheme) {
+	reg.GaugeInt("prefetch_issued", func() int64 { return s.PrefetchStats().Issued })
+	reg.GaugeInt("prefetch_used", func() int64 { return s.PrefetchStats().Used })
+	reg.GaugeInt("prefetch_late", func() int64 { return s.PrefetchStats().Late })
+	reg.GaugeInt("prefetch_redundant", func() int64 { return s.PrefetchStats().Redundant })
+	reg.Gauge("prefetch_accuracy", func() float64 { return s.PrefetchStats().Accuracy() })
+	s.Stats().Register(reg, "btb")
+}

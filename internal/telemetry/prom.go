@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by name for canonical
+// output. namespace, when non-empty, prefixes every metric name as
+// "<namespace>_<name>". Histograms expose power-of-two "le" buckets up
+// to the highest non-empty bucket, plus the implicit +Inf bucket and
+// the _sum/_count pair.
+func WritePrometheus(w io.Writer, r *Registry, namespace string) error {
+	idx := make([]int, len(r.metrics))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.metrics[idx[a]].name < r.metrics[idx[b]].name })
+
+	buf := make([]byte, 0, 4096)
+	full := func(name string) string {
+		if namespace == "" {
+			return name
+		}
+		return namespace + "_" + name
+	}
+	for _, i := range idx {
+		m := &r.metrics[i]
+		name := full(m.name)
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.kind.String()...)
+		buf = append(buf, '\n')
+		switch m.kind {
+		case KindCounter:
+			buf = append(buf, name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, m.counter.Value(), 10)
+			buf = append(buf, '\n')
+		case KindGauge:
+			buf = append(buf, name...)
+			buf = append(buf, ' ')
+			buf = appendValue(buf, m.gauge())
+			buf = append(buf, '\n')
+		case KindHistogram:
+			h := m.hist
+			var cum int64
+			top := h.maxBucket()
+			for b := 0; b <= top; b++ {
+				cum += h.Bucket(b)
+				buf = append(buf, name...)
+				buf = append(buf, `_bucket{le="`...)
+				// Bucket b holds values < 2^b (bucket 0: v < 1).
+				buf = strconv.AppendUint(buf, upperBound(b), 10)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = append(buf, name...)
+			buf = append(buf, `_bucket{le="+Inf"} `...)
+			buf = strconv.AppendInt(buf, h.Count(), 10)
+			buf = append(buf, '\n')
+			buf = append(buf, name...)
+			buf = append(buf, "_sum "...)
+			buf = appendValue(buf, h.Sum())
+			buf = append(buf, '\n')
+			buf = append(buf, name...)
+			buf = append(buf, "_count "...)
+			buf = strconv.AppendInt(buf, h.Count(), 10)
+			buf = append(buf, '\n')
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// upperBound returns the exclusive upper bound of histogram bucket b:
+// bucket 0 holds v < 1, bucket b >= 1 holds v in [2^(b-1), 2^b).
+func upperBound(b int) uint64 {
+	if b <= 0 {
+		return 1
+	}
+	return 1 << uint(b)
+}
+
+// appendValue renders a float with the shortest round-trip formatting,
+// so integral values print without a trailing ".0" mantissa. NaN and
+// infinities render as 0 to keep the JSON view valid.
+func appendValue(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	if math.Abs(v) < 1e15 && v == math.Trunc(v) {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// WriteVars renders every counter and gauge (and each histogram's
+// count/sum/mean) as a flat JSON object sorted by key — the
+// expvar-style view the live endpoint serves at /vars.
+func WriteVars(w io.Writer, r *Registry) error {
+	idx := make([]int, len(r.metrics))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.metrics[idx[a]].name < r.metrics[idx[b]].name })
+
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, '{', '\n')
+	first := true
+	emit := func(name string, v float64) {
+		if !first {
+			buf = append(buf, ',', '\n')
+		}
+		first = false
+		buf = append(buf, ' ', ' ', '"')
+		buf = append(buf, name...)
+		buf = append(buf, `": `...)
+		buf = appendValue(buf, v)
+	}
+	for _, i := range idx {
+		m := &r.metrics[i]
+		switch m.kind {
+		case KindCounter:
+			emit(m.name, float64(m.counter.Value()))
+		case KindGauge:
+			emit(m.name, m.gauge())
+		case KindHistogram:
+			emit(m.name+"_count", float64(m.hist.Count()))
+			emit(m.name+"_sum", m.hist.Sum())
+			emit(m.name+"_mean", m.hist.Mean())
+		}
+	}
+	buf = append(buf, '\n', '}', '\n')
+	_, err := w.Write(buf)
+	return err
+}

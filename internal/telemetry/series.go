@@ -1,0 +1,137 @@
+package telemetry
+
+// Series is an epoch-indexed time series of registry snapshots: one
+// column per counter/gauge (plus count+sum columns per histogram), one
+// row of cumulative values per epoch boundary. The base row — the
+// values at measurement start, i.e. the warmup boundary — is kept
+// separately so epoch 0's delta is well defined even for metrics that
+// accumulated during warmup.
+type Series struct {
+	// EpochLength is the sampling period in committed original
+	// instructions.
+	EpochLength int64
+	// Columns names the sampled values, in registration order.
+	Columns []string
+	// Base holds the column values at measurement start.
+	Base []float64
+	// Samples holds the cumulative column values at each epoch
+	// boundary; the final row may cover a partial epoch.
+	Samples [][]float64
+	// Instructions holds the cumulative measured original-instruction
+	// count at each boundary (Instructions[e] = (e+1)*EpochLength except
+	// for a partial final epoch).
+	Instructions []int64
+
+	byName map[string]int
+}
+
+// Len returns the number of sampled epochs.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Col returns the column index for name, or -1.
+func (s *Series) Col(name string) int {
+	if s.byName == nil {
+		s.byName = make(map[string]int, len(s.Columns))
+		for i, c := range s.Columns {
+			s.byName[c] = i
+		}
+	}
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Value returns the cumulative value of column col at epoch e (relative
+// to the base row). Out-of-range indexes return 0.
+func (s *Series) Value(e, col int) float64 {
+	if e < 0 || e >= len(s.Samples) || col < 0 || col >= len(s.Columns) {
+		return 0
+	}
+	return s.Samples[e][col] - s.Base[col]
+}
+
+// Delta returns the epoch-local value of column col at epoch e: the
+// change since the previous boundary (or since the base row for epoch
+// 0). Out-of-range indexes return 0.
+func (s *Series) Delta(e, col int) float64 {
+	if e < 0 || e >= len(s.Samples) || col < 0 || col >= len(s.Columns) {
+		return 0
+	}
+	prev := s.Base[col]
+	if e > 0 {
+		prev = s.Samples[e-1][col]
+	}
+	return s.Samples[e][col] - prev
+}
+
+// DeltaInstructions returns the number of measured original
+// instructions committed during epoch e.
+func (s *Series) DeltaInstructions(e int) int64 {
+	if e < 0 || e >= len(s.Instructions) {
+		return 0
+	}
+	if e == 0 {
+		return s.Instructions[0]
+	}
+	return s.Instructions[e] - s.Instructions[e-1]
+}
+
+// Sampler snapshots a registry into a Series. The caller fixes the
+// column set at construction (registrations after NewSampler are not
+// sampled) and invokes Begin once at measurement start, then Sample at
+// each epoch boundary.
+type Sampler struct {
+	reg    *Registry
+	series Series
+	ncols  int
+}
+
+// NewSampler builds a sampler over reg with the given epoch length.
+func NewSampler(reg *Registry, epochLength int64) *Sampler {
+	cols := reg.columns()
+	return &Sampler{
+		reg:   reg,
+		ncols: len(cols),
+		series: Series{
+			EpochLength: epochLength,
+			Columns:     cols,
+		},
+	}
+}
+
+// Begin captures the base row (measurement start). Calling it again
+// resets the series.
+func (s *Sampler) Begin() {
+	base := s.reg.sample(make([]float64, 0, s.ncols))
+	if len(base) > s.ncols {
+		base = base[:s.ncols]
+	}
+	s.series.Base = base
+	s.series.Samples = s.series.Samples[:0]
+	s.series.Instructions = s.series.Instructions[:0]
+}
+
+// Sample appends one epoch row; instructions is the cumulative measured
+// original-instruction count at this boundary.
+func (s *Sampler) Sample(instructions int64) {
+	if s.series.Base == nil {
+		s.Begin()
+	}
+	row := s.reg.sample(make([]float64, 0, s.ncols))
+	if len(row) > s.ncols {
+		// Metrics registered after NewSampler are not part of the
+		// series; keep row widths consistent with Columns.
+		row = row[:s.ncols]
+	}
+	s.series.Samples = append(s.series.Samples, row)
+	s.series.Instructions = append(s.series.Instructions, instructions)
+}
+
+// Series returns the accumulated series (nil until Begin).
+func (s *Sampler) Series() *Series {
+	if s.series.Base == nil {
+		return nil
+	}
+	return &s.series
+}

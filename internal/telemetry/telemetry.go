@@ -1,0 +1,268 @@
+// Package telemetry is the simulator's unified observability layer: a
+// dependency-free metrics registry (monotonic counters, gauges, and
+// power-of-two-bucketed histograms), an epoch sampler that snapshots
+// every registered metric into an in-memory time series, a structured
+// event tracer that streams typed JSON Lines records, a Prometheus
+// text-format exposition writer, and a live HTTP stats endpoint.
+//
+// Design constraints, in order:
+//
+//   - Deterministic: identical runs produce byte-identical traces,
+//     series, and expositions. Nothing here reads the clock or iterates
+//     a map in exposition paths.
+//   - Allocation-free on the hot path: Counter.Inc, Gauge reads, and
+//     Histogram.Observe never allocate; the tracer reuses one
+//     append-buffer per line and one flush block.
+//   - Dependency-free: only the standard library, and the hot-path
+//     types import nothing beyond math/bits and strconv.
+//
+// The registry itself is not goroutine-safe — the simulator is
+// single-threaded and sampling happens inline at epoch boundaries. The
+// LiveServer provides the safe boundary for concurrent HTTP readers:
+// the simulation thread renders snapshots into it under a lock, and
+// handlers serve only those pre-rendered bytes.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Kind discriminates metric types in the registry.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value read through a function.
+	KindGauge
+	// KindHistogram is a power-of-two-bucketed value distribution.
+	KindHistogram
+)
+
+// String implements fmt.Stringer with the Prometheus type names.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "kind(?)"
+}
+
+// Counter is a monotonic counter. The zero value is ready to use, but
+// counters normally come from Registry.Counter so they are sampled and
+// exposed.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (negative deltas are a programming error and are ignored
+// to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// HistogramBuckets is the number of power-of-two buckets: bucket i
+// counts observations v with bits.Len64(uint64(v)) == i, i.e. bucket 0
+// holds v < 1 and bucket i >= 1 holds v in [2^(i-1), 2^i).
+const HistogramBuckets = 65
+
+// Histogram is a power-of-two-bucketed distribution of non-negative
+// values. Observe truncates to uint64 for bucketing but accumulates the
+// exact sum; negative observations count in bucket 0.
+type Histogram struct {
+	buckets [HistogramBuckets]int64
+	count   int64
+	sum     float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	var u uint64
+	if v >= 1 {
+		u = uint64(v)
+	}
+	h.buckets[bits.Len64(u)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the exact sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bucket returns the count in bucket i (see HistogramBuckets).
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// maxBucket returns the highest non-empty bucket index, or -1.
+func (h *Histogram) maxBucket() int {
+	for i := HistogramBuckets - 1; i >= 0; i-- {
+		if h.buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// metric is one registry entry.
+type metric struct {
+	name    string
+	kind    Kind
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics in registration order. Names should be
+// snake_case identifiers ([a-z0-9_]); the Prometheus writer prefixes
+// them with a namespace. Re-registering a name rebinds it: a Gauge
+// replaces the previous reader (so sequential simulation runs can reuse
+// one registry, each rebinding the gauges to its own state), while
+// Counter and Histogram return the existing instance.
+type Registry struct {
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Counter registers (or retrieves) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if i, ok := r.byName[name]; ok {
+		m := &r.metrics[i]
+		if m.kind != KindCounter {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as counter", name, m.kind))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, kind: KindCounter, counter: c})
+	return c
+}
+
+// Gauge registers the named gauge with its reader, replacing any
+// previous reader under the same name.
+func (r *Registry) Gauge(name string, read func() float64) {
+	if i, ok := r.byName[name]; ok {
+		m := &r.metrics[i]
+		if m.kind != KindGauge {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as gauge", name, m.kind))
+		}
+		m.gauge = read
+		return
+	}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, kind: KindGauge, gauge: read})
+}
+
+// GaugeInt is Gauge for an int64 reader.
+func (r *Registry) GaugeInt(name string, read func() int64) {
+	r.Gauge(name, func() float64 { return float64(read()) })
+}
+
+// Histogram registers (or retrieves) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if i, ok := r.byName[name]; ok {
+		m := &r.metrics[i]
+		if m.kind != KindHistogram {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as histogram", name, m.kind))
+		}
+		return m.hist
+	}
+	h := &Histogram{}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, kind: KindHistogram, hist: h})
+	return h
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.metrics) }
+
+// Names returns the registered metric names sorted lexicographically
+// (the canonical exposition order).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Value returns the current scalar value of a counter or gauge, or
+// (0, false) for unknown names and histograms.
+func (r *Registry) Value(name string) (float64, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	switch m := &r.metrics[i]; m.kind {
+	case KindCounter:
+		return float64(m.counter.Value()), true
+	case KindGauge:
+		return m.gauge(), true
+	}
+	return 0, false
+}
+
+// columns returns the sampling column names in registration order: one
+// column per counter/gauge, and count+sum columns per histogram.
+func (r *Registry) columns() []string {
+	out := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		if m.kind == KindHistogram {
+			out = append(out, m.name+"_count", m.name+"_sum")
+			continue
+		}
+		out = append(out, m.name)
+	}
+	return out
+}
+
+// sample appends the current value of every column to dst.
+func (r *Registry) sample(dst []float64) []float64 {
+	for i := range r.metrics {
+		switch m := &r.metrics[i]; m.kind {
+		case KindCounter:
+			dst = append(dst, float64(m.counter.Value()))
+		case KindGauge:
+			v := m.gauge()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			dst = append(dst, v)
+		case KindHistogram:
+			dst = append(dst, float64(m.hist.Count()), m.hist.Sum())
+		}
+	}
+	return dst
+}

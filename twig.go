@@ -25,6 +25,7 @@ import (
 	"twig/internal/experiments"
 	"twig/internal/metrics"
 	"twig/internal/pipeline"
+	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
 
@@ -72,6 +73,27 @@ type Config struct {
 	DisableCoalescing bool
 	// SampleRate makes the profiler record every Nth BTB miss.
 	SampleRate int
+	// Epoch, when > 0, snapshots every metric each Epoch committed
+	// original instructions; Result.Epochs then carries the per-epoch
+	// statistics of each run.
+	Epoch int64
+	// TraceWriter, when non-nil, receives the structured event trace
+	// (JSON Lines, one record per BTB miss, resteer, prefetch event,
+	// I-cache miss, and epoch boundary) of every simulation run through
+	// this system. Training runs are never traced.
+	TraceWriter io.Writer
+	// CollectMetrics publishes every run's counters into the System's
+	// metrics registry (System.WriteMetrics renders it). Implied by
+	// Epoch > 0 and LiveAddr != "". Gauges read the most recent run;
+	// histograms accumulate across runs, matching Prometheus' cumulative
+	// convention.
+	CollectMetrics bool
+	// LiveAddr, when non-empty, serves the live stats endpoint
+	// (/metrics, /vars, /series) on this address — e.g. ":8080", or
+	// ":0" to pick a free port (System.LiveAddr returns the bound
+	// address). Snapshots publish at every epoch boundary and when a
+	// run completes; System.Close stops the listener.
+	LiveAddr string
 }
 
 // DefaultConfig returns the paper's operating point with a window sized
@@ -107,6 +129,12 @@ func (c Config) options() core.Options {
 	if c.SampleRate > 0 {
 		opts.SampleRate = c.SampleRate
 	}
+	if c.Epoch > 0 {
+		opts.Telemetry.EpochLength = c.Epoch
+	}
+	if c.TraceWriter != nil {
+		opts.Telemetry.Tracer = telemetry.NewTracer(c.TraceWriter)
+	}
 	return opts
 }
 
@@ -132,6 +160,68 @@ type Result struct {
 	DynamicOverhead float64
 	// ICacheMPKI is L1i demand misses per kilo-instruction.
 	ICacheMPKI float64
+	// Epochs is the run's per-epoch time series (nil unless
+	// Config.Epoch > 0). The final epoch may be partial.
+	Epochs []EpochStats
+}
+
+// EpochStats is one epoch of a run's time series.
+type EpochStats struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// Instructions and Cycles are the epoch-local counts; IPC their
+	// ratio.
+	Instructions int64
+	Cycles       float64
+	IPC          float64
+	// BTBMisses is the epoch's direct-branch demand BTB misses, BTBMPKI
+	// the per-kilo-instruction rate.
+	BTBMisses int64
+	BTBMPKI   float64
+	// Resteers is the epoch's decode-time BTB resteers.
+	Resteers int64
+	// ICacheMisses is the epoch's demand L1i misses.
+	ICacheMisses int64
+	// CoveredMisses is the epoch's would-be BTB misses served from the
+	// prefetch buffer (zero for schemes without one).
+	CoveredMisses int64
+}
+
+// epochsFromSeries folds the sampled registry series into per-epoch
+// deltas. Delta is snapshot-minus-snapshot, so it is exact for both the
+// warm-adjusted pipeline gauges and the raw cumulative structure
+// counters.
+func epochsFromSeries(s *telemetry.Series) []EpochStats {
+	if s == nil || s.Len() == 0 {
+		return nil
+	}
+	cyc := s.Col("pipeline_cycles")
+	miss := s.Col("btb_direct_misses")
+	rst := s.Col("pipeline_btb_resteers")
+	icm := s.Col("icache_l1_misses")
+	cov := s.Col("pipeline_covered_misses")
+	out := make([]EpochStats, s.Len())
+	for e := range out {
+		ins := s.DeltaInstructions(e)
+		cycles := s.Delta(e, cyc)
+		st := EpochStats{
+			Epoch:         e + 1,
+			Instructions:  ins,
+			Cycles:        cycles,
+			BTBMisses:     int64(s.Delta(e, miss)),
+			Resteers:      int64(s.Delta(e, rst)),
+			ICacheMisses:  int64(s.Delta(e, icm)),
+			CoveredMisses: int64(s.Delta(e, cov)),
+		}
+		if cycles > 0 {
+			st.IPC = float64(ins) / cycles
+		}
+		if ins > 0 {
+			st.BTBMPKI = float64(st.BTBMisses) / float64(ins) * 1000
+		}
+		out[e] = st
+	}
+	return out
 }
 
 func toResult(r *pipeline.Result) Result {
@@ -148,6 +238,7 @@ func toResult(r *pipeline.Result) Result {
 		PrefetchAccuracy:  r.Prefetch.Accuracy(),
 		DynamicOverhead:   r.DynamicOverhead(),
 		ICacheMPKI:        float64(r.ICacheMisses) / float64(max64(r.Original, 1)) * 1000,
+		Epochs:            epochsFromSeries(r.Series),
 	}
 }
 
@@ -162,8 +253,14 @@ func max64(a, b int64) int64 {
 func Speedup(base, opt Result) float64 { return metrics.Speedup(base.IPC, opt.IPC) }
 
 // Coverage returns the percentage of base's BTB misses that opt
-// eliminated.
+// eliminated (clamped at zero, the paper's convention).
 func Coverage(base, opt Result) float64 { return metrics.Coverage(base.BTBMisses, opt.BTBMisses) }
+
+// CoverageSigned is Coverage without the clamp: negative values mean
+// opt suffered more BTB misses than base.
+func CoverageSigned(base, opt Result) float64 {
+	return metrics.CoverageSigned(base.BTBMisses, opt.BTBMisses)
+}
 
 // AnalysisSummary describes what the Twig offline analysis produced for
 // an application.
@@ -189,6 +286,11 @@ type AnalysisSummary struct {
 type System struct {
 	art  *core.Artifacts
 	opts core.Options
+
+	reg      *telemetry.Registry
+	live     *telemetry.LiveServer
+	liveAddr string
+	stopLive func()
 }
 
 // NewSystem builds and optimizes the application, training Twig on
@@ -206,7 +308,48 @@ func NewSystemTrained(app App, trainInput int, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{art: art, opts: opts}, nil
+	sys := &System{art: art, opts: opts}
+	if cfg.CollectMetrics || cfg.Epoch > 0 || cfg.LiveAddr != "" {
+		sys.reg = telemetry.NewRegistry()
+		sys.opts.Telemetry.Registry = sys.reg
+	}
+	if cfg.LiveAddr != "" {
+		live := telemetry.NewLiveServer()
+		addr, stop, err := live.Start(cfg.LiveAddr)
+		if err != nil {
+			return nil, fmt.Errorf("twig: starting live endpoint: %w", err)
+		}
+		sys.live, sys.liveAddr, sys.stopLive = live, addr, stop
+		// Publish a fresh snapshot at every epoch boundary. The hook
+		// runs on the simulation thread, so gauge reads are race-free;
+		// the series snapshot follows when the run completes.
+		sys.opts.Pipeline.Hooks.OnEpoch = func(int64, int64, float64) {
+			live.Update(sys.reg, nil)
+		}
+	}
+	return sys, nil
+}
+
+// WriteMetrics renders the System's metrics registry in the Prometheus
+// text exposition format (namespace "twig"), reflecting the most recent
+// run. Metrics collection must be enabled in the Config.
+func (s *System) WriteMetrics(w io.Writer) error {
+	if s.reg == nil {
+		return fmt.Errorf("twig: metrics not collected (set Config.CollectMetrics, Epoch, or LiveAddr)")
+	}
+	return telemetry.WritePrometheus(w, s.reg, "twig")
+}
+
+// LiveAddr returns the bound address of the live stats endpoint, or ""
+// when Config.LiveAddr was empty.
+func (s *System) LiveAddr() string { return s.liveAddr }
+
+// Close stops the live stats endpoint, if one is running.
+func (s *System) Close() {
+	if s.stopLive != nil {
+		s.stopLive()
+		s.stopLive = nil
+	}
 }
 
 // App returns the application this system models.
@@ -215,35 +358,35 @@ func (s *System) App() App { return s.art.Params.Name }
 // Baseline simulates the unmodified binary with the baseline BTB.
 func (s *System) Baseline(input int) (Result, error) {
 	r, err := s.art.RunBaseline(input, s.opts)
-	return wrap(r, err)
+	return s.finish(r, err)
 }
 
 // IdealBTB simulates the unmodified binary with a perfect BTB (the
 // paper's limit study).
 func (s *System) IdealBTB(input int) (Result, error) {
 	r, err := s.art.RunIdealBTB(input, s.opts)
-	return wrap(r, err)
+	return s.finish(r, err)
 }
 
 // Twig simulates the optimized binary (baseline BTB + prefetch buffer +
 // injected brprefetch/brcoalesce instructions).
 func (s *System) Twig(input int) (Result, error) {
 	r, err := s.art.RunTwig(input, s.opts)
-	return wrap(r, err)
+	return s.finish(r, err)
 }
 
 // Shotgun simulates the unmodified binary under the Shotgun frontend
 // prefetcher (Kumar et al., ASPLOS 2018).
 func (s *System) Shotgun(input int) (Result, error) {
 	r, err := s.art.RunShotgun(input, s.opts)
-	return wrap(r, err)
+	return s.finish(r, err)
 }
 
 // Confluence simulates the unmodified binary under the Confluence
 // frontend prefetcher (Kaynak et al., MICRO 2015).
 func (s *System) Confluence(input int) (Result, error) {
 	r, err := s.art.RunConfluence(input, s.opts)
-	return wrap(r, err)
+	return s.finish(r, err)
 }
 
 // Analysis summarizes the offline analysis for this system.
@@ -264,9 +407,14 @@ func (s *System) Analysis() AnalysisSummary {
 	}
 }
 
-func wrap(r *pipeline.Result, err error) (Result, error) {
+// finish converts a pipeline result and, when the live endpoint is up,
+// publishes the completed run's snapshot (including the epoch series).
+func (s *System) finish(r *pipeline.Result, err error) (Result, error) {
 	if err != nil {
 		return Result{}, err
+	}
+	if s.live != nil {
+		s.live.Update(s.reg, r.Series)
 	}
 	return toResult(r), nil
 }

@@ -2,6 +2,7 @@ package twig_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -125,7 +126,7 @@ func TestDeterministicResults(t *testing.T) {
 	}
 	r1, _ := s1.Twig(0)
 	r2, _ := s2.Twig(0)
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("identical configurations produced different results:\n%+v\n%+v", r1, r2)
 	}
 }
