@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments clean
+.PHONY: all build test race vet fmt check fuzz cover bench experiments clean
 
 all: vet build test
 
@@ -24,6 +24,24 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# check runs the tier-1 suite plus the twigcheck build, which compiles
+# the per-instruction pipeline invariants into every simulation and
+# verifies every run against internal/check (see TESTING.md).
+check:
+	$(GO) test ./...
+	$(GO) test -tags twigcheck ./...
+
+# fuzz runs the same 20-second smoke of every fuzz target CI runs.
+fuzz:
+	$(GO) test ./internal/profile -run='^$$' -fuzz=FuzzLoad -fuzztime=20s
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=20s
+	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzBuild -fuzztime=20s
+
+# cover writes coverage.out and prints the per-function summary.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 20
+
 # bench records the perf trajectory: ns/op and simulated kIPS for the
 # three main schemes (baseline, twig, shotgun) on the default
 # 1M-instruction cassandra run, written to BENCH_pipeline.json.
@@ -34,4 +52,4 @@ experiments:
 	$(GO) run ./cmd/experiments
 
 clean:
-	rm -f BENCH_pipeline.json
+	rm -f BENCH_pipeline.json coverage.out

@@ -99,6 +99,12 @@ func (r *RAS) PredictReturn(actual uint64) bool {
 	return true
 }
 
+// Depth returns the number of live entries, in [0, Capacity].
+func (r *RAS) Depth() int { return r.depth }
+
+// Capacity returns the stack's entry capacity.
+func (r *RAS) Capacity() int { return len(r.buf) }
+
 // IBTB is the indirect branch target buffer: a set-associative LRU
 // cache of last-seen targets keyed by indirect branch PC.
 type IBTB struct {

@@ -1,0 +1,7 @@
+//go:build !twigcheck
+
+package check
+
+// Enabled is false in normal builds: runs are verified only when a
+// caller asks (twig.Config.Check, or attaching a Recorder directly).
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build twigcheck
+
+package check
+
+// Enabled reports that this binary was built with the twigcheck tag:
+// the pipeline's per-instruction invariant assertions are compiled in,
+// and the twig facade verifies every run regardless of Config.Check.
+const Enabled = true

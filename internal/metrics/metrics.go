@@ -30,15 +30,36 @@ func Coverage(baselineMisses, misses int64) float64 {
 	return c
 }
 
-// CoverageSigned is Coverage without the clamp: negative values mean
-// the configuration suffered more misses than the baseline. Per-epoch
-// diagnostics (twigstat) need the sign — a phase where prefetching
-// pollutes the BTB should read as negative coverage, not as zero.
+// CoverageSigned is Coverage without the zero clamp: negative values
+// mean the configuration suffered more misses than the baseline.
+// Per-epoch diagnostics (twigstat) need the sign — a phase where
+// prefetching pollutes the BTB should read as negative coverage, not
+// as zero.
+//
+// The result is always finite and within [-100, 100]. A zero-miss
+// baseline epoch makes the ratio undefined, so it reads as 0 when the
+// configuration also had no misses and as the -100 floor when it added
+// some; a configuration that more than doubles the baseline's misses
+// saturates at -100 likewise. Degenerate negative counts are treated
+// as zero.
 func CoverageSigned(baselineMisses, misses int64) float64 {
-	if baselineMisses == 0 {
-		return 0
+	if baselineMisses < 0 {
+		baselineMisses = 0
 	}
-	return float64(baselineMisses-misses) / float64(baselineMisses) * 100
+	if misses < 0 {
+		misses = 0
+	}
+	if baselineMisses == 0 {
+		if misses == 0 {
+			return 0
+		}
+		return -100
+	}
+	c := float64(baselineMisses-misses) / float64(baselineMisses) * 100
+	if c < -100 {
+		return -100
+	}
+	return c
 }
 
 // PercentOfIdeal expresses a configuration's speedup as a share of the

@@ -31,6 +31,48 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
+func TestCoverageSigned(t *testing.T) {
+	tests := []struct {
+		name           string
+		baseline, miss int64
+		want           float64
+	}{
+		{"full coverage", 100, 0, 100},
+		{"partial coverage", 100, 35, 65},
+		{"no change", 100, 100, 0},
+		{"regression", 100, 150, -50},
+		{"exact doubling", 100, 200, -100},
+		{"saturates below -100", 100, 301, -100},
+		{"zero baseline, zero misses", 0, 0, 0},
+		{"zero baseline, added misses", 0, 7, -100},
+		{"negative baseline guarded", -5, 0, 0},
+		{"negative baseline with misses", -5, 3, -100},
+		{"negative misses guarded", 100, -3, 100},
+		{"both negative", -1, -1, 0},
+		{"large counts stay finite", math.MaxInt64, 1, 100 * (1 - 1/float64(math.MaxInt64))},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CoverageSigned(tc.baseline, tc.miss)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("CoverageSigned(%d, %d) = %f, want finite", tc.baseline, tc.miss, got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("CoverageSigned(%d, %d) = %f, want %f", tc.baseline, tc.miss, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCoverageSignedBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(baseline, misses int64) bool {
+		c := CoverageSigned(baseline, misses)
+		return !math.IsNaN(c) && !math.IsInf(c, 0) && c >= -100 && c <= 100
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPercentOfIdeal(t *testing.T) {
 	if got := PercentOfIdeal(20.86, 31); math.Abs(got-67.29) > 0.01 {
 		t.Fatalf("PercentOfIdeal = %f", got)

@@ -1,0 +1,106 @@
+package pipeline
+
+import "fmt"
+
+// Structural invariants of the timing model, checked per instruction
+// and at run end when the twigcheck build tag is set (invariantsEnabled
+// in invariant_on.go / invariant_off.go). A violation is a simulator
+// bug, never a workload property, so checks fail hard with panic: a
+// run that breaks its own laws has no trustworthy numbers to return.
+//
+// The laws, stated once here and asserted below:
+//
+//   - Clock monotonicity: bpuClock, fetchClock and retireClock never
+//     move backwards across instructions, and every instruction's
+//     fetch completes no earlier than its BPU emission.
+//   - FTQ occupancy: 0 <= ftqLen <= FTQSize at every step.
+//   - ROB occupancy: 0 <= robLen <= ROBSize at every step.
+//   - RAS depth sanity: 0 <= depth <= capacity at every step.
+//   - Counter consistency at run end: executed = original + injected,
+//     resteer causes are each non-negative, covered misses bound their
+//     late subset, and prefetch use never exceeds issue volume.
+
+// clockSnap captures the three clocks before an instruction so the
+// step check can assert monotonicity.
+type clockSnap struct {
+	bpu, fetch, retire float64
+}
+
+// invariantSnap records the clocks ahead of one simulated instruction.
+func (s *simulator) invariantSnap() clockSnap {
+	return clockSnap{bpu: s.bpuC, fetch: s.fetchC, retire: s.retireC}
+}
+
+// invariantStep asserts the per-instruction structural laws. bpuTime is
+// the BPU emission time of the instruction just simulated (the clocks
+// themselves may already have advanced past it via resteers).
+func (s *simulator) invariantStep(prev clockSnap, bpuTime float64) {
+	if s.bpuC < prev.bpu {
+		s.invariantViolation("BPU clock moved backwards: %.3f -> %.3f", prev.bpu, s.bpuC)
+	}
+	if s.fetchC < prev.fetch {
+		s.invariantViolation("fetch clock moved backwards: %.3f -> %.3f", prev.fetch, s.fetchC)
+	}
+	if s.retireC < prev.retire {
+		s.invariantViolation("retire clock moved backwards: %.3f -> %.3f", prev.retire, s.retireC)
+	}
+	if s.fetchC < bpuTime {
+		s.invariantViolation("instruction fetched at %.3f before its BPU emission at %.3f", s.fetchC, bpuTime)
+	}
+	if s.ftqLen < 0 || s.ftqLen > len(s.ftq) {
+		s.invariantViolation("FTQ occupancy %d outside [0, %d]", s.ftqLen, len(s.ftq))
+	}
+	if s.robLen < 0 || s.robLen > len(s.rob) {
+		s.invariantViolation("ROB occupancy %d outside [0, %d]", s.robLen, len(s.rob))
+	}
+	if d := s.ras.Depth(); d < 0 || d > s.ras.Capacity() {
+		s.invariantViolation("RAS depth %d outside [0, %d]", d, s.ras.Capacity())
+	}
+	if s.res.Original > s.res.Instructions {
+		s.invariantViolation("original count %d exceeds executed count %d", s.res.Original, s.res.Instructions)
+	}
+}
+
+// invariantFinal asserts the end-of-run counter laws on the raw
+// (pre-warm-subtraction) accumulators.
+func (s *simulator) invariantFinal() {
+	r := &s.res
+	if r.Instructions != r.Original+r.InjectedExecuted {
+		s.invariantViolation("executed %d != original %d + injected %d",
+			r.Instructions, r.Original, r.InjectedExecuted)
+	}
+	if r.LateCoveredMisses > r.CoveredMisses {
+		s.invariantViolation("late covered misses %d exceed covered misses %d",
+			r.LateCoveredMisses, r.CoveredMisses)
+	}
+	if r.BTBResteers < 0 || r.CondMispredicts < 0 || r.RASMispredicts < 0 || r.IBTBMispredicts < 0 {
+		s.invariantViolation("negative resteer cause counts: btb=%d cond=%d ras=%d ibtb=%d",
+			r.BTBResteers, r.CondMispredicts, r.RASMispredicts, r.IBTBMispredicts)
+	}
+	if r.ICacheStallCycles < 0 || r.BPUWaitCycles < 0 {
+		s.invariantViolation("negative stall accumulators: icache=%.3f bpu=%.3f",
+			r.ICacheStallCycles, r.BPUWaitCycles)
+	}
+	pf := s.scheme.PrefetchStats()
+	if pf.Used > pf.Issued {
+		s.invariantViolation("prefetch lifecycle: used %d exceeds issued %d", pf.Used, pf.Issued)
+	}
+	if pf.Late > pf.Used {
+		s.invariantViolation("prefetch lifecycle: late %d exceeds used %d", pf.Late, pf.Used)
+	}
+	st := s.scheme.Stats()
+	for k, m := range st.Misses {
+		if m > st.Accesses[k] {
+			s.invariantViolation("BTB kind %d: misses %d exceed accesses %d", k, m, st.Accesses[k])
+		}
+	}
+}
+
+// invariantViolation reports a broken structural law. It panics: the
+// twigcheck build is a verification mode, and a model that violates its
+// own laws must not keep simulating.
+func (s *simulator) invariantViolation(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	panic(fmt.Sprintf("pipeline: invariant violated at instruction %d (scheme %s): %s",
+		s.res.Instructions, s.scheme.Name(), msg))
+}

@@ -1,0 +1,8 @@
+//go:build !twigcheck
+
+package pipeline
+
+// invariantsEnabled is false in normal builds: every invariant call
+// site is an `if invariantsEnabled { ... }` over this constant, so the
+// checks cost nothing unless the twigcheck build tag is set.
+const invariantsEnabled = false

@@ -1,0 +1,10 @@
+//go:build twigcheck
+
+package pipeline
+
+// invariantsEnabled compiles the per-instruction structural invariant
+// checks into the simulator loop. Build with -tags twigcheck (the CI
+// invariant job and `make check` do) to activate them; without the tag
+// the checks are constant-false branches the compiler removes, so the
+// hot path pays nothing.
+const invariantsEnabled = true

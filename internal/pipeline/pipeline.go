@@ -437,7 +437,11 @@ func (s *simulator) run() {
 		s.telBegin()
 	}
 	total := cfg.Warmup + cfg.MaxInstructions
+	var clocks clockSnap
 	for s.res.Original < total {
+		if invariantsEnabled {
+			clocks = s.invariantSnap()
+		}
 		if !warmed && s.res.Original >= cfg.Warmup {
 			warmed = true
 			hooks = cfg.Hooks
@@ -795,6 +799,13 @@ func (s *simulator) run() {
 				s.tel.nextTick += s.tel.epochLen
 			}
 		}
+
+		if invariantsEnabled {
+			s.invariantStep(clocks, bpuTime)
+		}
+	}
+	if invariantsEnabled {
+		s.invariantFinal()
 	}
 	s.res.Cycles = s.retireC
 	// Final partial epoch, so the series always covers the full run.

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"twig/internal/exec"
+)
+
+// FuzzBuild drives the program generator with arbitrary parameters.
+// Build must either reject the set with an error or emit a
+// structurally well-formed program: the generator must not panic, and
+// the executor must be able to run the result indefinitely without
+// stepping outside the text segment. Magnitudes are folded into a
+// small range so the fuzzer explores structure rather than allocation
+// size; signs, NaNs, and infinities pass through untouched to exercise
+// the validation path.
+func FuzzBuild(f *testing.F) {
+	// The calibrated catalog shape, a degenerate minimum, and hostile
+	// probability/shape values.
+	k := MustParams(Kafka)
+	f.Add(k.Seed, int64(k.RequestTypes), int64(k.FuncsPerRequest), int64(k.SharedFuncs), int64(k.MaxDepth),
+		k.SharedCallProb, k.LoopProb, k.DiamondProb, k.SwitchProb, k.VirtualCallProb, k.CallFanout, k.LoopMean)
+	f.Add(uint64(1), int64(1), int64(1), int64(0), int64(0),
+		0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(7), int64(-3), int64(10), int64(10), int64(3),
+		math.NaN(), 2.0, -0.5, math.Inf(1), 0.5, math.NaN(), math.Inf(-1))
+
+	f.Fuzz(func(t *testing.T, seed uint64, reqTypes, funcs, shared, depth int64,
+		sharedProb, loopProb, diamondProb, switchProb, virtProb, fanout, loopMean float64) {
+		// Fold positive magnitudes down; keep hostile values as-is.
+		fold := func(v, lim int64) int {
+			if v > lim {
+				v %= lim
+			}
+			return int(v)
+		}
+		foldF := func(v, lim float64) float64 {
+			if v > lim && !math.IsInf(v, 1) {
+				return math.Mod(v, lim)
+			}
+			return v
+		}
+		p := Params{
+			Name:            "fuzz",
+			Seed:            seed,
+			RequestTypes:    fold(reqTypes, 12),
+			FuncsPerRequest: fold(funcs, 48),
+			SharedFuncs:     fold(shared, 64),
+			SharedCallProb:  sharedProb,
+			CallFanout:      foldF(fanout, 4),
+			MaxDepth:        fold(depth, 6),
+			BlocksPerFunc:   5,
+			InstrsPerBlock:  3,
+			LoopProb:        loopProb,
+			LoopMean:        foldF(loopMean, 8),
+			DiamondProb:     diamondProb,
+			SwitchProb:      switchProb,
+			SwitchWays:      4,
+			VirtualCallProb: virtProb,
+			VirtualImpls:    3,
+			BackendCPI:      0.5,
+			Scale:           1,
+		}
+		prog, err := Build(p)
+		if err != nil {
+			return // rejected: fine
+		}
+		if len(prog.Instrs) == 0 || len(prog.Funcs) == 0 {
+			t.Fatal("accepted program is empty")
+		}
+		// Every accepted program must execute forever within bounds.
+		e, err := exec.New(prog, exec.Input{Seed: seed})
+		if err != nil {
+			t.Fatalf("accepted program rejected by executor: %v", err)
+		}
+		var st exec.Step
+		for i := 0; i < 5000; i++ {
+			e.Next(&st)
+			if st.Idx < 0 || int(st.Idx) >= len(prog.Instrs) {
+				t.Fatalf("step %d: index %d outside text segment [0, %d)", i, st.Idx, len(prog.Instrs))
+			}
+			if st.NextIdx < 0 || int(st.NextIdx) >= len(prog.Instrs) {
+				t.Fatalf("step %d: next index %d outside text segment [0, %d)", i, st.NextIdx, len(prog.Instrs))
+			}
+		}
+	})
+}

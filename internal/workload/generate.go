@@ -16,8 +16,8 @@ const BaseAddr = 0x400000
 // always produce the identical binary (structure randomness is keyed
 // only by Params.Seed and Scale).
 func Build(p Params) (*program.Program, error) {
-	if p.RequestTypes <= 0 || p.FuncsPerRequest <= 0 {
-		return nil, fmt.Errorf("workload: %s: non-positive structure counts", p.Name)
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
 	scale := p.Scale
 	if scale == 0 {
@@ -30,6 +30,66 @@ func Build(p Params) (*program.Program, error) {
 		scale: scale,
 	}
 	return g.build()
+}
+
+// validate rejects parameter sets the generator cannot honor. The
+// generator's arithmetic (geometric sampling, footprint scaling, branch
+// bias encoding) assumes finite shape values and in-range
+// probabilities; hostile values reach Build through fuzzing and
+// programmatic Params construction, and must fail cleanly rather than
+// hang or emit a malformed program.
+func (p Params) validate() error {
+	if p.RequestTypes <= 0 || p.FuncsPerRequest <= 0 {
+		return fmt.Errorf("workload: %s: non-positive structure counts", p.Name)
+	}
+	counts := []struct {
+		name string
+		v    int
+	}{
+		{"SharedFuncs", p.SharedFuncs},
+		{"MaxDepth", p.MaxDepth},
+		{"BlocksPerFunc", p.BlocksPerFunc},
+		{"InstrsPerBlock", p.InstrsPerBlock},
+		{"SwitchWays", p.SwitchWays},
+		{"VirtualImpls", p.VirtualImpls},
+	}
+	for _, c := range counts {
+		if c.v < 0 {
+			return fmt.Errorf("workload: %s: negative %s %d", p.Name, c.name, c.v)
+		}
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"SharedCallProb", p.SharedCallProb},
+		{"LoopProb", p.LoopProb},
+		{"DiamondProb", p.DiamondProb},
+		{"SwitchProb", p.SwitchProb},
+		{"VirtualCallProb", p.VirtualCallProb},
+		{"CondMispredictRate", p.CondMispredictRate},
+	}
+	for _, q := range probs {
+		if math.IsNaN(q.v) || q.v < 0 || q.v > 1 {
+			return fmt.Errorf("workload: %s: %s %v outside [0, 1]", p.Name, q.name, q.v)
+		}
+	}
+	shapes := []struct {
+		name string
+		v    float64
+	}{
+		{"CallFanout", p.CallFanout},
+		{"LoopMean", p.LoopMean},
+		{"BackendCPI", p.BackendCPI},
+		{"MixSkew", p.MixSkew},
+		{"Scale", p.Scale},
+	}
+	for _, q := range shapes {
+		if math.IsNaN(q.v) || math.IsInf(q.v, 0) || q.v < 0 {
+			return fmt.Errorf("workload: %s: %s %v not finite and non-negative", p.Name, q.name, q.v)
+		}
+	}
+	return nil
 }
 
 type generator struct {

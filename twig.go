@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 
+	"twig/internal/check"
 	"twig/internal/core"
 	"twig/internal/experiments"
 	"twig/internal/metrics"
@@ -94,6 +95,15 @@ type Config struct {
 	// address). Snapshots publish at every epoch boundary and when a
 	// run completes; System.Close stops the listener.
 	LiveAddr string
+	// Check verifies every simulation run against the internal/check
+	// verification layer before returning its Result: hook-observed
+	// event counts must match the Result's counters, the telemetry
+	// registry must agree with the Result, and the epoch series must be
+	// additive. A violated law fails the run with an error. Binaries
+	// built with the twigcheck tag check every run regardless of this
+	// knob (and additionally assert per-instruction pipeline
+	// invariants). See TESTING.md.
+	Check bool
 }
 
 // DefaultConfig returns the paper's operating point with a window sized
@@ -284,8 +294,9 @@ type AnalysisSummary struct {
 // System is one application prepared end to end: built, profiled on a
 // training input, analyzed, and relinked with prefetch instructions.
 type System struct {
-	art  *core.Artifacts
-	opts core.Options
+	art   *core.Artifacts
+	opts  core.Options
+	check bool
 
 	reg      *telemetry.Registry
 	live     *telemetry.LiveServer
@@ -308,7 +319,7 @@ func NewSystemTrained(app App, trainInput int, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{art: art, opts: opts}
+	sys := &System{art: art, opts: opts, check: cfg.Check || check.Enabled}
 	if cfg.CollectMetrics || cfg.Epoch > 0 || cfg.LiveAddr != "" {
 		sys.reg = telemetry.NewRegistry()
 		sys.opts.Telemetry.Registry = sys.reg
@@ -357,36 +368,61 @@ func (s *System) App() App { return s.art.Params.Name }
 
 // Baseline simulates the unmodified binary with the baseline BTB.
 func (s *System) Baseline(input int) (Result, error) {
-	r, err := s.art.RunBaseline(input, s.opts)
-	return s.finish(r, err)
+	return s.run("baseline", s.art.RunBaseline, input)
 }
 
 // IdealBTB simulates the unmodified binary with a perfect BTB (the
 // paper's limit study).
 func (s *System) IdealBTB(input int) (Result, error) {
-	r, err := s.art.RunIdealBTB(input, s.opts)
-	return s.finish(r, err)
+	return s.run("ideal", s.art.RunIdealBTB, input)
 }
 
 // Twig simulates the optimized binary (baseline BTB + prefetch buffer +
 // injected brprefetch/brcoalesce instructions).
 func (s *System) Twig(input int) (Result, error) {
-	r, err := s.art.RunTwig(input, s.opts)
-	return s.finish(r, err)
+	return s.run("twig", s.art.RunTwig, input)
 }
 
 // Shotgun simulates the unmodified binary under the Shotgun frontend
 // prefetcher (Kumar et al., ASPLOS 2018).
 func (s *System) Shotgun(input int) (Result, error) {
-	r, err := s.art.RunShotgun(input, s.opts)
-	return s.finish(r, err)
+	return s.run("shotgun", s.art.RunShotgun, input)
 }
 
 // Confluence simulates the unmodified binary under the Confluence
 // frontend prefetcher (Kaynak et al., MICRO 2015).
 func (s *System) Confluence(input int) (Result, error) {
-	r, err := s.art.RunConfluence(input, s.opts)
-	return s.finish(r, err)
+	return s.run("confluence", s.art.RunConfluence, input)
+}
+
+// run simulates one scheme and, when checking is enabled, verifies the
+// run against the verification layer before converting its Result. The
+// options are copied per run so the attached checker hooks never leak
+// into later runs.
+func (s *System) run(name string, sim func(int, core.Options) (*pipeline.Result, error), input int) (Result, error) {
+	opts := s.opts
+	var rec *check.Recorder
+	if s.check {
+		rec = check.Attach(&opts.Pipeline)
+	}
+	r, err := sim(input, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if rec != nil {
+		if err := rec.Verify(r); err != nil {
+			return Result{}, fmt.Errorf("twig: %s run: %w", name, err)
+		}
+		if s.reg != nil {
+			if err := rec.VerifyRegistry(s.reg, r); err != nil {
+				return Result{}, fmt.Errorf("twig: %s run: %w", name, err)
+			}
+		}
+		if err := check.VerifySeries(r); err != nil {
+			return Result{}, fmt.Errorf("twig: %s run: %w", name, err)
+		}
+	}
+	return s.finish(r, nil)
 }
 
 // Analysis summarizes the offline analysis for this system.
