@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test ./internal/profile -run='^$$' -fuzz=FuzzLoad -fuzztime=20s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=20s
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzBuild -fuzztime=20s
+	$(GO) test ./internal/runner -run='^$$' -fuzz=FuzzDecode -fuzztime=20s
 
 # cover writes coverage.out and prints the per-function summary.
 cover:
@@ -50,6 +51,12 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# experiments-fast fans the matrix out over every core with a
+# persistent result cache: the first run pays full price, reruns
+# re-execute only what changed (see DESIGN.md §7).
+experiments-fast:
+	$(GO) run ./cmd/experiments -j 0 -cache .twig-cache
 
 clean:
 	rm -f BENCH_pipeline.json coverage.out

@@ -4,21 +4,27 @@
 //	experiments -only fig16,fig17       # specific experiments
 //	experiments -instructions 5000000   # larger windows, tighter numbers
 //	experiments -apps cassandra,kafka   # application subset
+//	experiments -j 8 -cache .twig-cache # parallel, with a persistent cache
 //	experiments -list                   # show experiment IDs
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"html/template"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"twig"
 	"twig/internal/experiments"
+	"twig/internal/runner"
 	"twig/internal/telemetry"
 )
 
@@ -31,6 +37,9 @@ func main() {
 		htmlOut      = flag.String("html", "", "also write a self-contained HTML report to this file")
 		listen       = flag.String("listen", "", `serve a live stats endpoint (e.g. ":8080") showing the currently running simulation`)
 		epoch        = flag.Int64("epoch", 0, "live-endpoint refresh period in instructions (0 = window/10; with -listen)")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 = serial)")
+		cacheDir     = flag.String("cache", runner.DefaultCacheDir(), "persistent result cache directory (default $"+runner.CacheDirEnv+"; empty = no disk cache)")
+		timeout      = flag.Duration("timeout", 0, "per-job timeout, e.g. 10m (0 = none)")
 	)
 	flag.Parse()
 
@@ -43,7 +52,9 @@ func main() {
 
 	var ids []string
 	if *only != "" {
-		ids = strings.Split(*only, ",")
+		for _, id := range strings.Split(*only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
 	var appList []twig.App
 	if *apps != "" {
@@ -58,7 +69,29 @@ func main() {
 		out = io.MultiWriter(os.Stdout, &captured)
 	}
 
+	if *jobs <= 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
+	if *listen != "" && *jobs > 1 {
+		// The live endpoint's counters are wired into one pipeline at a
+		// time; concurrent simulations would race on them.
+		fmt.Fprintln(os.Stderr, "experiments: -listen forces -j 1 (live counters are per-pipeline)")
+		*jobs = 1
+	}
+
+	cache, err := runner.OpenCache(*cacheDir, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	run := runner.New(runner.Options{Workers: *jobs, Timeout: *timeout, Cache: cache})
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	ctx := experiments.NewContext(out, *instructions)
+	ctx.SetRunner(run)
+	ctx.SetContext(sigCtx)
 	if len(appList) > 0 {
 		ctx.Apps = appList
 	}
@@ -78,6 +111,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer stop()
+		run.PublishTo(reg)
 		ctx.Opts.Telemetry.Registry = reg
 		ctx.Opts.Telemetry.EpochLength = period
 		ctx.Opts.Pipeline.Hooks.OnEpoch = func(int64, int64, float64) { live.Update(reg, nil) }
@@ -85,11 +119,12 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := runSelected(ctx, ids); err != nil {
+	if err := ctx.RunSelected(ids, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Second))
+	fmt.Printf("\nrunner: %s\n", run.Stats().Summary())
+	fmt.Printf("completed in %s\n", time.Since(start).Round(time.Second))
 
 	if *htmlOut != "" {
 		if err := writeHTML(*htmlOut, captured.String(), *instructions, time.Since(start)); err != nil {
@@ -98,29 +133,6 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *htmlOut)
 	}
-}
-
-// runSelected runs the requested experiment IDs (nil = all) against the
-// shared context.
-func runSelected(ctx *experiments.Context, ids []string) error {
-	if len(ids) == 0 {
-		for _, e := range experiments.All() {
-			if err := ctx.RunOne(e); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, id := range ids {
-		e, ok := experiments.ByID(strings.TrimSpace(id))
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (known: %v)", id, experiments.IDs())
-		}
-		if err := ctx.RunOne(e); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // section is one experiment's rendered output for the HTML report.

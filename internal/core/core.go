@@ -103,6 +103,18 @@ func BuildAndOptimize(app workload.App, trainInput int, opts Options) (*Artifact
 	if err != nil {
 		return nil, err
 	}
+	prof, err := CollectProfile(p, params, trainInput, opts)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeFromProfile(p, params, prof, trainInput, opts)
+}
+
+// CollectProfile runs the training simulation for an already-built
+// binary and returns its profile — the expensive middle stage of
+// BuildAndOptimize, split out so job runners can schedule (and cache)
+// it separately from the cheap build and analyze stages.
+func CollectProfile(p *program.Program, params workload.Params, trainInput int, opts Options) (*profile.Profile, error) {
 	cfg := machineConfig(opts, params)
 	cfg.Telemetry = pipeline.Telemetry{} // training runs are not observed
 	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
@@ -116,8 +128,18 @@ func BuildAndOptimize(app workload.App, trainInput int, opts Options) (*Artifact
 	// predecessors worth learning.
 	cfg.Warmup = 0
 	prof, _, err := profile.Collect(p, params.InputPhase(trainInput, ProfilePhase), cfg, opts.SampleRate)
-	if err != nil {
-		return nil, err
+	return prof, err
+}
+
+// OptimizeFromProfile runs the Twig analysis on a collected (or
+// cached) profile and relinks the binary — the final stage of
+// BuildAndOptimize. The profile must come from the same binary; block
+// counts are cross-checked so a stale cached profile fails loudly
+// rather than silently mis-optimizing.
+func OptimizeFromProfile(p *program.Program, params workload.Params, prof *profile.Profile, trainInput int, opts Options) (*Artifacts, error) {
+	if len(prof.BlockExecs) != len(p.Blocks) {
+		return nil, fmt.Errorf("core: profile has %d blocks, binary has %d — profile is from a different binary",
+			len(prof.BlockExecs), len(p.Blocks))
 	}
 	an, err := twigopt.Analyze(p, prof, opts.Opt)
 	if err != nil {
@@ -125,7 +147,7 @@ func BuildAndOptimize(app workload.App, trainInput int, opts Options) (*Artifact
 	}
 	optimized, err := p.Inject(an.Plan)
 	if err != nil {
-		return nil, fmt.Errorf("core: injecting plan for %s: %w", app, err)
+		return nil, fmt.Errorf("core: injecting plan for %s: %w", params.Name, err)
 	}
 	return &Artifacts{
 		Params:     params,
@@ -150,25 +172,7 @@ func BuildWithProfile(app workload.App, prof *profile.Profile, opts Options) (*A
 	if err != nil {
 		return nil, err
 	}
-	if len(prof.BlockExecs) != len(p.Blocks) {
-		return nil, fmt.Errorf("core: profile has %d blocks, binary has %d — profile is from a different binary",
-			len(prof.BlockExecs), len(p.Blocks))
-	}
-	an, err := twigopt.Analyze(p, prof, opts.Opt)
-	if err != nil {
-		return nil, err
-	}
-	optimized, err := p.Inject(an.Plan)
-	if err != nil {
-		return nil, fmt.Errorf("core: injecting plan for %s: %w", app, err)
-	}
-	return &Artifacts{
-		Params:    params,
-		Program:   p,
-		Optimized: optimized,
-		Profile:   prof,
-		Analysis:  an,
-	}, nil
+	return OptimizeFromProfile(p, params, prof, 0, opts)
 }
 
 // Reoptimize re-runs the Twig analysis on the already-collected profile

@@ -27,19 +27,30 @@ func (c *Context) idealICache(app workload.App, input int) (*pipeline.Result, er
 	})
 }
 
+// threeC is the cached payload of a 3C-classified baseline run.
+type threeC struct {
+	Compulsory, Capacity, Conflict int64
+}
+
+// Total returns the classified miss count.
+func (t threeC) Total() int64 { return t.Compulsory + t.Capacity + t.Conflict }
+
 // classifiedBaseline runs the baseline with the 3C classifier attached
-// and returns both the result and the classifier.
-func (c *Context) classifiedBaseline(app workload.App, cfg btb.Config) (*pipeline.Result, *btb.ThreeC, error) {
+// (a run whose payload is the classification, not the Result) and
+// returns the miss-class counts, memoized per BTB geometry.
+func (c *Context) classifiedBaseline(app workload.App, cfg btb.Config) (threeC, error) {
 	a, err := c.Artifacts(app, 0)
 	if err != nil {
-		return nil, nil, err
+		return threeC{}, err
 	}
-	scheme := prefetcher.NewBaseline(cfg, 0, true)
-	res, err := a.RunWithScheme(0, c.Opts, scheme)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res, scheme.ThreeC(), nil
+	return memoDerived(c, fmt.Sprintf("3c/%s/%dx%d", app, cfg.Entries, cfg.Ways), func() (threeC, error) {
+		scheme := prefetcher.NewBaseline(cfg, 0, true)
+		if _, err := a.RunWithScheme(0, c.Opts, scheme); err != nil {
+			return threeC{}, err
+		}
+		tc := scheme.ThreeC()
+		return threeC{tc.Compulsory, tc.Capacity, tc.Conflict}, nil
+	})
 }
 
 func init() {
@@ -123,7 +134,7 @@ func init() {
 		Run: func(c *Context) error {
 			t := metrics.NewTable("app", "compulsory %", "capacity %", "conflict %")
 			for _, app := range c.Apps {
-				_, tc, err := c.classifiedBaseline(app, c.Opts.BTB)
+				tc, err := c.classifiedBaseline(app, c.Opts.BTB)
 				if err != nil {
 					return err
 				}
@@ -155,7 +166,7 @@ func init() {
 			for _, app := range c.SweepApps() {
 				row := []any{string(app)}
 				for _, s := range sizes {
-					_, tc, err := c.classifiedBaseline(app, btb.Config{Entries: s, Ways: c.Opts.BTB.Ways})
+					tc, err := c.classifiedBaseline(app, btb.Config{Entries: s, Ways: c.Opts.BTB.Ways})
 					if err != nil {
 						return err
 					}
@@ -186,7 +197,7 @@ func init() {
 			for _, app := range c.SweepApps() {
 				row := []any{string(app)}
 				for _, w := range ways {
-					_, tc, err := c.classifiedBaseline(app, btb.Config{Entries: c.Opts.BTB.Entries, Ways: w})
+					tc, err := c.classifiedBaseline(app, btb.Config{Entries: c.Opts.BTB.Entries, Ways: w})
 					if err != nil {
 						return err
 					}
@@ -260,27 +271,34 @@ func init() {
 		Run: func(c *Context) error {
 			t := metrics.NewTable("app", "recurring %", "new %", "non-repetitive %")
 			var rs, ns, os []float64
+			type fractions struct{ R, N, O float64 }
 			for _, app := range c.Apps {
 				a, err := c.Artifacts(app, 0)
 				if err != nil {
 					return err
 				}
-				rec := streams.NewRecorder(func(idx int32) uint64 { return a.Program.Instrs[idx].PC })
-				opts := c.Opts
-				opts.Pipeline.Hooks = rec.Hooks()
-				cfg := opts.Pipeline
-				cfg.BackendCPI = a.Params.BackendCPI
-				cfg.CondMispredictRate = a.Params.CondMispredictRate
-				cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
-				if _, err := pipeline.Run(a.Program, a.Input(0), cfg); err != nil {
+				fr, err := memoDerived(c, fmt.Sprintf("streams/%s", app), func() (fractions, error) {
+					rec := streams.NewRecorder(func(idx int32) uint64 { return a.Program.Instrs[idx].PC })
+					opts := c.Opts
+					opts.Pipeline.Hooks = rec.Hooks()
+					cfg := opts.Pipeline
+					cfg.BackendCPI = a.Params.BackendCPI
+					cfg.CondMispredictRate = a.Params.CondMispredictRate
+					cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
+					if _, err := pipeline.Run(a.Program, a.Input(0), cfg); err != nil {
+						return fractions{}, err
+					}
+					cl := streams.Classify(rec.Misses())
+					r, n, o := cl.Fractions()
+					return fractions{r, n, o}, nil
+				})
+				if err != nil {
 					return err
 				}
-				cl := streams.Classify(rec.Misses())
-				r, n, o := cl.Fractions()
-				rs = append(rs, r*100)
-				ns = append(ns, n*100)
-				os = append(os, o*100)
-				t.Row(string(app), r*100, n*100, o*100)
+				rs = append(rs, fr.R*100)
+				ns = append(ns, fr.N*100)
+				os = append(os, fr.O*100)
+				t.Row(string(app), fr.R*100, fr.N*100, fr.O*100)
 			}
 			t.Row("average", metrics.Mean(rs), metrics.Mean(ns), metrics.Mean(os))
 			_, err := fmt.Fprint(c.Out, t.String())
@@ -299,7 +317,9 @@ func init() {
 				if err != nil {
 					return err
 				}
-				ws, err := uncondWorkingSet(a, c.Opts.Pipeline.MaxInstructions)
+				ws, err := memoDerived(c, fmt.Sprintf("uncond-ws/%s", app), func() (int, error) {
+					return uncondWorkingSet(a, c.Opts.Pipeline.MaxInstructions)
+				})
 				if err != nil {
 					return err
 				}
@@ -316,6 +336,9 @@ func init() {
 		Title: "Conditional branches outside Shotgun's spatial range (range sweep)",
 		Paper: "26-45% fall outside 8 lines. Our binaries are ~8x denser than the real ones (DESIGN.md), so the paper's 8-line window corresponds to ~1 line here; the sweep shows where the violation rate lands at each width",
 		Run: func(c *Context) error {
+			type rangeCounts struct {
+				Resolved, Outside int64
+			}
 			ranges := []int{1, 2, 4, 8}
 			header := []string{"app"}
 			for _, rg := range ranges {
@@ -329,17 +352,24 @@ func init() {
 				}
 				row := []any{string(app)}
 				for _, rg := range ranges {
-					scfg := prefetcher.DefaultShotgunConfig()
-					scfg.FootprintLines = rg
-					scheme := prefetcher.NewShotgun(scfg)
-					opts := c.Opts
-					opts.Pipeline.RASEntries = 1536
-					if _, err := a.RunWithScheme(0, opts, scheme); err != nil {
+					rg := rg
+					counts, err := memoDerived(c, fmt.Sprintf("shotgun-range/%s/%d", app, rg), func() (rangeCounts, error) {
+						scfg := prefetcher.DefaultShotgunConfig()
+						scfg.FootprintLines = rg
+						scheme := prefetcher.NewShotgun(scfg)
+						opts := c.Opts
+						opts.Pipeline.RASEntries = 1536
+						if _, err := a.RunWithScheme(0, opts, scheme); err != nil {
+							return rangeCounts{}, err
+						}
+						return rangeCounts{Resolved: scheme.CondResolved, Outside: scheme.CondOutsideRange}, nil
+					})
+					if err != nil {
 						return err
 					}
 					pct := 0.0
-					if scheme.CondResolved > 0 {
-						pct = float64(scheme.CondOutsideRange) / float64(scheme.CondResolved) * 100
+					if counts.Resolved > 0 {
+						pct = float64(counts.Outside) / float64(counts.Resolved) * 100
 					}
 					row = append(row, pct)
 				}

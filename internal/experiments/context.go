@@ -5,22 +5,30 @@
 // the same rows/series the paper reports, and bench_test.go exposes one
 // testing.B benchmark per experiment.
 //
-// A Context caches per-application artifacts (built binaries, profiles,
-// analyses, simulation results) across experiments, because most
-// figures share the same baseline/ideal/Twig runs.
+// A Context routes every per-application artifact (built binaries,
+// profiles, analyses) and simulation through an internal/runner job
+// graph, so results are memoized across experiments, simulations fan
+// out over a worker pool when a parallel runner is attached, and — with
+// a persistent cache — rerunning a sweep re-executes only what changed.
 package experiments
 
 import (
+	"bytes"
+	stdctx "context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"twig/internal/core"
 	"twig/internal/pipeline"
+	"twig/internal/runner"
 	"twig/internal/workload"
 )
 
-// Context carries shared configuration and memoized results.
+// Context carries shared configuration and the job runner that
+// memoizes results. Contexts may be used from multiple goroutines;
+// concurrent experiments share one execution per job.
 type Context struct {
 	// Opts is the evaluation operating point (Table 1 machine, 8K BTB,
 	// paper analysis parameters).
@@ -30,19 +38,16 @@ type Context struct {
 	// Out receives rendered tables.
 	Out io.Writer
 
-	arts map[artKey]*core.Artifacts
-	runs map[string]*pipeline.Result
-}
-
-type artKey struct {
-	app   workload.App
-	train int
+	run *runner.Runner
+	ctx stdctx.Context
 }
 
 // NewContext returns a context with the paper's defaults; instructions
 // bounds each simulation window (the paper simulates 100M-instruction
 // traces; the default here is sized to regenerate everything in
-// minutes — pass a larger budget to tighten the numbers).
+// minutes — pass a larger budget to tighten the numbers). The default
+// runner is serial and uncached, matching the historical behavior;
+// attach a parallel or cache-backed runner with SetRunner.
 func NewContext(out io.Writer, instructions int64) *Context {
 	opts := core.DefaultOptions()
 	if instructions > 0 {
@@ -55,37 +60,97 @@ func NewContext(out io.Writer, instructions int64) *Context {
 		Opts: opts,
 		Apps: workload.Apps(),
 		Out:  out,
-		arts: make(map[artKey]*core.Artifacts),
-		runs: make(map[string]*pipeline.Result),
+		run:  runner.New(runner.Options{Workers: 1}),
+		ctx:  stdctx.Background(),
 	}
+}
+
+// SetRunner replaces the context's job runner (worker pool width,
+// result cache, timeouts). Call before running experiments.
+func (c *Context) SetRunner(r *runner.Runner) { c.run = r }
+
+// Runner returns the context's job runner (for stats reporting).
+func (c *Context) Runner() *runner.Runner { return c.run }
+
+// SetContext sets the cancellation context inherited by every job.
+func (c *Context) SetContext(ctx stdctx.Context) { c.ctx = ctx }
+
+// clone returns a Context sharing this one's runner (and therefore
+// its memoized results) but rendering to a different writer.
+func (c *Context) clone(out io.Writer) *Context {
+	cc := *c
+	cc.Out = out
+	return &cc
+}
+
+// simHash content-addresses one simulation memo key, or "" when the
+// context's runs carry observable telemetry and must not be cached.
+func (c *Context) simHash(key string) string {
+	if !runner.Cacheable(c.Opts) {
+		return ""
+	}
+	return runner.HashSim(key, c.Opts)
 }
 
 // Artifacts returns (building and caching on first use) the app's
 // binary, profile and Twig analysis for the given training input.
 func (c *Context) Artifacts(app workload.App, train int) (*core.Artifacts, error) {
-	k := artKey{app, train}
-	if a, ok := c.arts[k]; ok {
-		return a, nil
-	}
-	a, err := core.BuildAndOptimize(app, train, c.Opts)
+	return c.ArtifactsOpts(app, train, c.Opts, "")
+}
+
+// ArtifactsOpts is Artifacts under modified options (sensitivity
+// sweeps rebuild when the BTB geometry changes, because the profile
+// depends on it). tag must uniquely name the variant; it namespaces
+// the job IDs and rides alongside the options hash.
+func (c *Context) ArtifactsOpts(app workload.App, train int, opts core.Options, tag string) (*core.Artifacts, error) {
+	v, err := c.run.Result(c.ctx, runner.ArtifactsJob(app, train, opts, tag))
 	if err != nil {
 		return nil, err
 	}
-	c.arts[k] = a
-	return a, nil
+	return v.(*core.Artifacts), nil
 }
 
-// memoRun caches a simulation result under an explicit key.
+// memoRun caches a simulation result under an explicit key. The key
+// must uniquely identify the run given the context's operating point
+// (keys embed the app, scheme, input and any sweep parameter); it is
+// also the content-hash seed for the persistent cache, so a warm cache
+// serves the result without executing the closure — or building the
+// artifacts it captures.
 func (c *Context) memoRun(key string, f func() (*pipeline.Result, error)) (*pipeline.Result, error) {
-	if r, ok := c.runs[key]; ok {
-		return r, nil
-	}
-	r, err := f()
+	v, err := c.run.Result(c.ctx, &runner.Job{
+		ID:    "run/" + key,
+		Kind:  runner.KindSim,
+		Hash:  c.simHash(key),
+		Codec: runner.ResultCodec{},
+		Run:   func(stdctx.Context, []any) (any, error) { return f() },
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
 	}
-	c.runs[key] = r
-	return r, nil
+	return v.(*pipeline.Result), nil
+}
+
+// memoDerived caches a JSON-serializable derived statistic (3C
+// classification counts, stream fractions, working-set sizes) that an
+// instrumented or auxiliary run computes, under the same keying and
+// cache rules as memoRun.
+func memoDerived[T any](c *Context, key string, f func() (T, error)) (T, error) {
+	h := ""
+	if runner.Cacheable(c.Opts) {
+		h = runner.HashDerived(key, c.Opts)
+	}
+	v, err := c.run.Result(c.ctx, &runner.Job{
+		ID:    "derived/" + key,
+		Kind:  runner.KindDerived,
+		Hash:  h,
+		Codec: runner.JSONCodec[T]{},
+		Run:   func(stdctx.Context, []any) (any, error) { return f() },
+	})
+	if err != nil {
+		var zero T
+		return zero, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	return v.(T), nil
 }
 
 // Baseline returns the cached baseline run for (app, input).
@@ -195,4 +260,55 @@ func (c *Context) RunOne(e Experiment) error {
 		fmt.Fprintf(c.Out, "paper: %s\n", e.Paper)
 	}
 	return e.Run(c)
+}
+
+// RunSelected executes the experiments named by ids (nil = the whole
+// registry, in figure order). With parallel > 1, experiments run
+// concurrently — each rendering into a private buffer that is flushed
+// to c.Out in registration order, and all simulations flowing through
+// the shared runner — so the output is byte-identical to a serial run
+// regardless of worker count or completion order. On the first
+// experiment error, everything rendered before (and by) the failing
+// experiment is flushed, matching serial behavior.
+func (c *Context) RunSelected(ids []string, parallel int) error {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
+			}
+			exps = append(exps, e)
+		}
+	}
+	if parallel <= 1 {
+		for _, e := range exps {
+			if err := c.RunOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bufs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			errs[i] = c.clone(&bufs[i]).RunOne(e)
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range exps {
+		if _, err := bufs[i].WriteTo(c.Out); err != nil {
+			return err
+		}
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
 }

@@ -22,8 +22,9 @@ func (c *Context) sweepPoint(app workload.App, opts core.Options, key string) (t
 		art, err = c.Artifacts(app, 0)
 	} else {
 		// A different BTB geometry changes the profile, so the whole
-		// profile→analyze→inject pipeline reruns at this point.
-		art, err = core.BuildAndOptimize(app, 0, opts)
+		// profile→analyze→inject pipeline reruns at this point (as
+		// runner jobs, so the retraining profile is disk-cacheable).
+		art, err = c.ArtifactsOpts(app, 0, opts, key+"/")
 	}
 	if err != nil {
 		return 0, 0, 0, err

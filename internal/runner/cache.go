@@ -1,0 +1,215 @@
+package runner
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"twig/internal/telemetry"
+)
+
+// CacheDirEnv is the environment variable naming the default on-disk
+// cache location; flags and Config fields override it.
+const CacheDirEnv = "TWIG_CACHE_DIR"
+
+// DefaultCacheDir returns $TWIG_CACHE_DIR ("" disables the disk tier).
+func DefaultCacheDir() string { return os.Getenv(CacheDirEnv) }
+
+// DefaultMemEntries bounds the in-memory LRU tier when OpenCache is
+// given no explicit capacity.
+const DefaultMemEntries = 1024
+
+// Cache is the two-tier content-addressed result cache: an in-memory
+// LRU of decoded payloads over an on-disk store of versioned envelopes
+// keyed by job hash. All methods are safe for concurrent use.
+//
+// The disk tier is self-healing: entries that fail to decode (truncated
+// writes, bit rot) and entries written under a different format or
+// simulator version are evicted on read and treated as misses, never
+// as errors.
+type Cache struct {
+	dir string // "" = memory-only
+	cap int
+
+	mu  sync.Mutex
+	mem map[string]*list.Element
+	lru *list.List // front = most recently used
+
+	stats cacheCounters
+}
+
+type cacheCounters struct {
+	MemHits        atomic.Int64
+	DiskHits       atomic.Int64
+	Misses         atomic.Int64
+	Stores         atomic.Int64
+	StoreErrors    atomic.Int64
+	CorruptEvicted atomic.Int64
+	StaleEvicted   atomic.Int64
+}
+
+type memEntry struct {
+	hash string
+	val  any
+}
+
+// OpenCache returns a cache rooted at dir (created if missing; "" for
+// a memory-only cache) holding at most memEntries decoded payloads in
+// the LRU tier (<= 0 means DefaultMemEntries).
+func OpenCache(dir string, memEntries int) (*Cache, error) {
+	if memEntries <= 0 {
+		memEntries = DefaultMemEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: creating cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		dir: dir,
+		cap: memEntries,
+		mem: make(map[string]*list.Element),
+		lru: list.New(),
+	}, nil
+}
+
+// Dir returns the disk tier's root ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a hash to its entry file, sharded by the first byte to
+// keep directories small under heavy sweep traffic.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get returns the cached payload for hash, consulting the memory tier
+// then the disk tier (promoting disk hits into memory). Undecodable
+// and version-mismatched disk entries are removed and reported as
+// misses.
+func (c *Cache) Get(hash string, codec Codec) (any, bool) {
+	if v, ok := c.memGet(hash); ok {
+		c.stats.MemHits.Add(1)
+		return v, true
+	}
+	if c.dir == "" || len(hash) < 2 {
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
+	v, err := decodeEntry(data, hash, codec)
+	if err != nil {
+		if _, stale := err.(staleError); stale {
+			c.stats.StaleEvicted.Add(1)
+		} else {
+			c.stats.CorruptEvicted.Add(1)
+		}
+		os.Remove(c.path(hash))
+		c.stats.Misses.Add(1)
+		return nil, false
+	}
+	c.stats.DiskHits.Add(1)
+	c.memPut(hash, v)
+	return v, true
+}
+
+// Put stores the payload in both tiers. Disk writes are atomic
+// (temp file + rename) so a crashed or concurrent writer can never
+// leave a partially written entry under the final name; failures are
+// recorded but non-fatal (the cache is an accelerator, not a
+// correctness dependency).
+func (c *Cache) Put(hash string, codec Codec, v any) {
+	c.memPut(hash, v)
+	if c.dir == "" || len(hash) < 2 {
+		return
+	}
+	data, err := encodeEntry(hash, codec, v)
+	if err != nil {
+		c.stats.StoreErrors.Add(1)
+		return
+	}
+	final := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		c.stats.StoreErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "tmp-*")
+	if err != nil {
+		c.stats.StoreErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.stats.StoreErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		c.stats.StoreErrors.Add(1)
+		return
+	}
+	c.stats.Stores.Add(1)
+}
+
+func (c *Cache) memGet(hash string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.mem[hash]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(memEntry).val, true
+}
+
+func (c *Cache) memPut(hash string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.mem[hash]; ok {
+		c.lru.MoveToFront(el)
+		el.Value = memEntry{hash, v}
+		return
+	}
+	c.mem[hash] = c.lru.PushFront(memEntry{hash, v})
+	for len(c.mem) > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.mem, oldest.Value.(memEntry).hash)
+	}
+}
+
+// MemLen returns the number of entries in the memory tier.
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// PublishTo registers the cache's counters as live gauges (namespace
+// runner_cache_*).
+func (c *Cache) PublishTo(reg *telemetry.Registry) {
+	gauges := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"runner_cache_mem_hits", &c.stats.MemHits},
+		{"runner_cache_disk_hits", &c.stats.DiskHits},
+		{"runner_cache_misses", &c.stats.Misses},
+		{"runner_cache_stores", &c.stats.Stores},
+		{"runner_cache_store_errors", &c.stats.StoreErrors},
+		{"runner_cache_corrupt_evicted", &c.stats.CorruptEvicted},
+		{"runner_cache_stale_evicted", &c.stats.StaleEvicted},
+	}
+	for _, g := range gauges {
+		v := g.v
+		reg.GaugeInt(g.name, v.Load)
+	}
+}

@@ -1,0 +1,311 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twig/internal/core"
+	"twig/internal/pipeline"
+	"twig/internal/telemetry"
+)
+
+// Golden content hashes under core.DefaultOptions(). These pin the
+// cross-process stability of the cache key: the same job spec must
+// produce the same hash in every build on every platform, or persistent
+// cache entries written by one binary would be invisible to the next.
+// When this test fails, a configuration struct changed shape (which
+// correctly invalidates old entries) — update the fixtures and review
+// whether SimVersion should be bumped too.
+const (
+	goldenSimHash     = "441a9f111076a5e44830eac38acde2262c125b7aba04a241629c905a71a2f820"
+	goldenProfileHash = "94869df30f35af401af419287eb61f37d62d9bca0c2dbeca8a1789cb890ca780"
+	goldenDerivedHash = "adc1bce43f028726e1d59252724402781b0f6fea40212314273b1d6e731f6bc7"
+)
+
+func TestGoldenHashes(t *testing.T) {
+	o := core.DefaultOptions()
+	if h := HashSim("twig/cassandra/0", o); h != goldenSimHash {
+		t.Errorf("HashSim = %s, want %s", h, goldenSimHash)
+	}
+	if h := HashProfile("kafka", 0, o); h != goldenProfileHash {
+		t.Errorf("HashProfile = %s, want %s", h, goldenProfileHash)
+	}
+	if h := HashDerived("3c/drupal/8192x4", o); h != goldenDerivedHash {
+		t.Errorf("HashDerived = %s, want %s", h, goldenDerivedHash)
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	o := core.DefaultOptions()
+	base := HashSim("twig/cassandra/0", o)
+	if HashSim("twig/cassandra/1", o) == base {
+		t.Error("different keys must hash differently")
+	}
+	o2 := o
+	o2.BTB.Entries = 1024
+	if HashSim("twig/cassandra/0", o2) == base {
+		t.Error("different BTB geometry must hash differently")
+	}
+	o3 := o
+	o3.Pipeline.MaxInstructions++
+	if HashSim("twig/cassandra/0", o3) == base {
+		t.Error("different window must hash differently")
+	}
+	if HashDerived("twig/cassandra/0", o) == base {
+		t.Error("sim and derived namespaces must not collide")
+	}
+}
+
+func TestCacheableRejectsTelemetry(t *testing.T) {
+	o := core.DefaultOptions()
+	if !Cacheable(o) {
+		t.Fatal("default options must be cacheable")
+	}
+	o.Telemetry.Registry = telemetry.NewRegistry()
+	if Cacheable(o) {
+		t.Fatal("options with a metrics registry must not be cacheable")
+	}
+	o = core.DefaultOptions()
+	o.Pipeline.Telemetry.Tracer = telemetry.NewTracer(io.Discard)
+	if Cacheable(o) {
+		t.Fatal("options with a tracer must not be cacheable")
+	}
+}
+
+func TestCacheDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &pipeline.Result{Original: 1000, Cycles: 1234.5, ICacheMisses: 7}
+	h := hash("roundtrip")
+	c1.Put(h, ResultCodec{}, res)
+
+	// A fresh Cache over the same directory has a cold memory tier, so
+	// this exercises the disk path end to end.
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get(h, ResultCodec{})
+	if !ok {
+		t.Fatal("disk entry not found")
+	}
+	got := v.(*pipeline.Result)
+	if got.Original != res.Original || got.Cycles != res.Cycles || got.ICacheMisses != res.ICacheMisses {
+		t.Fatalf("got %+v, want %+v", got, res)
+	}
+	if c2.stats.DiskHits.Load() != 1 {
+		t.Fatalf("disk hits = %d, want 1", c2.stats.DiskHits.Load())
+	}
+	// The disk hit was promoted: the second read hits memory.
+	if _, ok := c2.Get(h, ResultCodec{}); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if c2.stats.MemHits.Load() != 1 {
+		t.Fatalf("mem hits = %d, want 1", c2.stats.MemHits.Load())
+	}
+}
+
+func TestCorruptEntryEvictedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("corrupt")
+	p := c.path(h)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h, ResultCodec{}); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	if c.stats.CorruptEvicted.Load() != 1 {
+		t.Fatalf("corrupt evicted = %d, want 1", c.stats.CorruptEvicted.Load())
+	}
+}
+
+func TestTruncatedEntryEvicted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("truncated")
+	c.Put(h, ResultCodec{}, &pipeline.Result{Original: 5})
+	p := c.path(h)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(h, ResultCodec{}); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if c2.stats.CorruptEvicted.Load() != 1 {
+		t.Fatalf("corrupt evicted = %d, want 1", c2.stats.CorruptEvicted.Load())
+	}
+}
+
+func TestStaleVersionEvicted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("stale")
+	payload, _ := json.Marshal(&pipeline.Result{Original: 9})
+	data, err := json.Marshal(envelope{
+		Format:  FormatVersion,
+		Sim:     "twig-sim-0-ancient",
+		Codec:   ResultCodec{}.Name(),
+		Hash:    h,
+		Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.path(h)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h, ResultCodec{}); ok {
+		t.Fatal("stale-version entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("stale entry not removed")
+	}
+	if c.stats.StaleEvicted.Load() != 1 {
+		t.Fatalf("stale evicted = %d, want 1 (got corrupt=%d)", c.stats.StaleEvicted.Load(), c.stats.CorruptEvicted.Load())
+	}
+}
+
+func TestCodecMismatchIsStale(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("codec-mismatch")
+	c.Put(h, JSONCodec[int]{}, 3)
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(h, ResultCodec{}); ok {
+		t.Fatal("entry decoded with the wrong codec")
+	}
+	if c2.stats.StaleEvicted.Load() != 1 {
+		t.Fatalf("stale evicted = %d, want 1", c2.stats.StaleEvicted.Load())
+	}
+}
+
+func TestHashFieldMismatchIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := hash("good")
+	c.Put(good, JSONCodec[int]{}, 1)
+	// Copy the entry under a different hash's path: the embedded hash no
+	// longer matches the entry name.
+	other := hash("other")
+	data, err := os.ReadFile(c.path(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path(other)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(other), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(other, JSONCodec[int]{}); ok {
+		t.Fatal("misfiled entry served as a hit")
+	}
+	if c2.stats.CorruptEvicted.Load() != 1 {
+		t.Fatalf("corrupt evicted = %d, want 1", c2.stats.CorruptEvicted.Load())
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	c, err := OpenCache("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(hash("a"), JSONCodec[int]{}, 1)
+	c.Put(hash("b"), JSONCodec[int]{}, 2)
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get(hash("a"), JSONCodec[int]{}); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(hash("c"), JSONCodec[int]{}, 3)
+	if got := c.MemLen(); got != 2 {
+		t.Fatalf("mem entries = %d, want 2", got)
+	}
+	if _, ok := c.Get(hash("b"), JSONCodec[int]{}); ok {
+		t.Fatal("LRU victim b still present")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(hash(k), JSONCodec[int]{}); !ok {
+			t.Fatalf("%s evicted, want kept", k)
+		}
+	}
+}
+
+func TestMemoryOnlyCache(t *testing.T) {
+	c, err := OpenCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("mem-only")
+	c.Put(h, JSONCodec[string]{}, "v")
+	if v, ok := c.Get(h, JSONCodec[string]{}); !ok || v.(string) != "v" {
+		t.Fatalf("got %v, %v", v, ok)
+	}
+	if c.Dir() != "" {
+		t.Fatal("memory-only cache has a dir")
+	}
+}
+
+func TestEnvelopeRejectsUnknownFields(t *testing.T) {
+	type point struct{ X, Y int }
+	data := []byte(`{"X":1,"Y":2,"Extra":"field"}`)
+	codec := JSONCodec[point]{}
+	if _, err := codec.Decode(data); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestStaleErrorMessage(t *testing.T) {
+	err := staleError{"format 0, want 1"}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("got %q", err.Error())
+	}
+}

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+
+	"twig/internal/pipeline"
+)
+
+// FuzzDecode drives arbitrary bytes through the cache-entry decoder
+// with every payload codec: the decoder must reject (never panic on)
+// malformed input, and a valid entry must round-trip.
+func FuzzDecode(f *testing.F) {
+	res := &pipeline.Result{Original: 1000, Cycles: 1500}
+	h := hash("fuzz-seed")
+	if valid, err := encodeEntry(h, ResultCodec{}, res); err == nil {
+		f.Add(valid)
+	}
+	if valid, err := encodeEntry(h, JSONCodec[int]{}, 42); err == nil {
+		f.Add(valid)
+	}
+	f.Add([]byte(`{"format":1,"sim":"twig-sim-1","codec":"result","hash":"x","payload":"bm90anNvbg=="}`))
+	f.Add([]byte(`{"format":99}`))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, codec := range []Codec{ResultCodec{}, ProfileCodec{}, JSONCodec[int]{}} {
+			v, err := decodeEntry(data, h, codec)
+			if err != nil {
+				continue
+			}
+			// Anything that decodes must re-encode: the payload is a
+			// real value of the codec's type.
+			if _, err := codec.Encode(v); err != nil {
+				t.Fatalf("decoded payload does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzResultCodec feeds arbitrary JSON payloads to the Result codec
+// directly (the layer under the envelope).
+func FuzzResultCodec(f *testing.F) {
+	good, _ := json.Marshal(&pipeline.Result{Original: 1})
+	f.Add(good)
+	f.Add([]byte(`{"Original":"not-a-number"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := (ResultCodec{}).Decode(data)
+		if err != nil {
+			return
+		}
+		if _, ok := v.(*pipeline.Result); !ok {
+			t.Fatalf("decode returned %T", v)
+		}
+	})
+}

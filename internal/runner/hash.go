@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"twig/internal/core"
+	"twig/internal/pipeline"
+	"twig/internal/workload"
+)
+
+// Job hashing: a job's content hash is the SHA-256 of a canonical
+// textual encoding of everything its result depends on — the simulator
+// version, the job's key (which names the application, scheme and
+// input), and the full evaluation operating point. The encoding is
+// `%+v` over value-only configuration structs, which is deterministic
+// across processes and platforms (no pointers, no maps, shortest-
+// round-trip float formatting) and automatically changes when a
+// configuration field is added — exactly when cached results must be
+// invalidated. The golden-fixture test in cache_test.go pins the
+// resulting hashes; when it fails, a config struct changed shape and
+// SimVersion should be reviewed.
+
+// CanonicalOptions renders the value fields of an evaluation operating
+// point deterministically. Non-value fields that cannot influence a
+// simulation's Result bytes — the scheme instance (job keys name the
+// scheme), hooks, and telemetry sinks — are excluded; the epoch length
+// is included because it shapes Result.Series.
+func CanonicalOptions(o core.Options) string {
+	p := o.Pipeline
+	p.Scheme = nil
+	p.Hooks = pipeline.Hooks{}
+	epoch := p.Telemetry.EpochLength
+	p.Telemetry = pipeline.Telemetry{}
+	return fmt.Sprintf("pipeline{%+v}|epoch=%d|btb{%+v}|opt{%+v}|pbuf=%d|sample=%d|profins=%d",
+		p, epoch, o.BTB, o.Opt, o.PrefetchBuffer, o.SampleRate, o.ProfileInstructions)
+}
+
+// Cacheable reports whether runs under these options may be served
+// from the cache: a run with an attached registry or tracer has
+// observable side effects a cache hit would silently skip.
+func Cacheable(o core.Options) bool {
+	return o.Telemetry.Registry == nil && o.Telemetry.Tracer == nil &&
+		o.Pipeline.Telemetry.Registry == nil && o.Pipeline.Telemetry.Tracer == nil
+}
+
+func hash(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashSim returns the content hash of one evaluation simulation,
+// identified by its memo key (e.g. "twig/cassandra/0" or a sweep key
+// like "dist30/kafka") under the given operating point.
+func HashSim(key string, opts core.Options) string {
+	return hash("v1", SimVersion, "sim", key, CanonicalOptions(opts))
+}
+
+// HashProfile returns the content hash of one training profile.
+func HashProfile(app workload.App, trainInput int, opts core.Options) string {
+	return hash("v1", SimVersion, "profile",
+		fmt.Sprintf("%s/%d", app, trainInput), CanonicalOptions(opts))
+}
+
+// HashDerived returns the content hash of a derived-statistic job.
+func HashDerived(key string, opts core.Options) string {
+	return hash("v1", SimVersion, "derived", key, CanonicalOptions(opts))
+}

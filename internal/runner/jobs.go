@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"twig/internal/core"
+	"twig/internal/profile"
+	"twig/internal/program"
+	"twig/internal/workload"
+)
+
+// BuiltApp pairs a workload's parameters with its built (unmodified)
+// binary — the payload of a BuildJob.
+type BuiltApp struct {
+	Params workload.Params
+	Prog   *program.Program
+}
+
+// BuildJob returns the (options-independent) job that builds an
+// application's binary. Building is cheap and deterministic, so the job
+// carries no content hash; it is memoized in-process by ID.
+func BuildJob(app workload.App) *Job {
+	return &Job{
+		ID:   "build/" + string(app),
+		Kind: KindOther,
+		Run: func(context.Context, []any) (any, error) {
+			params, err := workload.ParamsFor(app)
+			if err != nil {
+				return nil, err
+			}
+			p, err := workload.Build(params)
+			if err != nil {
+				return nil, err
+			}
+			return BuiltApp{params, p}, nil
+		},
+	}
+}
+
+// ArtifactsJob assembles the profile→analyze DAG for one application
+// under the given options: build (cheap, uncached) → profile (the
+// training simulation, disk-cached) → optimize (analysis + relink,
+// cheap). Because a cache hit on the profile prunes its dependencies,
+// a warm cache reconstructs artifacts without a single training
+// simulation. tag namespaces sweep variants that rebuild under
+// non-default options; it must uniquely name the variant within a
+// Runner.
+func ArtifactsJob(app workload.App, train int, opts core.Options, tag string) *Job {
+	build := BuildJob(app)
+	prof := &Job{
+		ID:    fmt.Sprintf("profile/%s%s/%d", tag, app, train),
+		Kind:  KindProfile,
+		Hash:  HashProfile(app, train, opts),
+		Codec: ProfileCodec{},
+		Deps:  []*Job{build},
+		Run: func(_ context.Context, deps []any) (any, error) {
+			b := deps[0].(BuiltApp)
+			return core.CollectProfile(b.Prog, b.Params, train, opts)
+		},
+	}
+	return &Job{
+		ID:   fmt.Sprintf("art/%s%s/%d", tag, app, train),
+		Kind: KindOther,
+		Deps: []*Job{build, prof},
+		Run: func(_ context.Context, deps []any) (any, error) {
+			b := deps[0].(BuiltApp)
+			return core.OptimizeFromProfile(b.Prog, b.Params, deps[1].(*profile.Profile), train, opts)
+		},
+	}
+}

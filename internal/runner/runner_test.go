@@ -1,0 +1,370 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leafJob returns an uncacheable job that records its executions.
+func leafJob(id string, runs *atomic.Int64, v any) *Job {
+	return &Job{
+		ID: id,
+		Run: func(context.Context, []any) (any, error) {
+			runs.Add(1)
+			return v, nil
+		},
+	}
+}
+
+func TestResultMemoizesByID(t *testing.T) {
+	r := New(Options{Workers: 4})
+	var runs atomic.Int64
+	j := leafJob("leaf", &runs, 42)
+	for i := 0; i < 3; i++ {
+		v, err := r.Result(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("got %v, want 42", v)
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("ran %d times, want 1", n)
+	}
+}
+
+func TestConcurrentSubmissionsShareOneExecution(t *testing.T) {
+	r := New(Options{Workers: 8})
+	var runs atomic.Int64
+	j := &Job{
+		ID: "slow",
+		Run: func(context.Context, []any) (any, error) {
+			runs.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			return "done", nil
+		},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := r.Result(context.Background(), j)
+			if err != nil || v.(string) != "done" {
+				t.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("ran %d times, want 1", n)
+	}
+}
+
+func TestWorkerPoolBound(t *testing.T) {
+	const workers = 3
+	r := New(Options{Workers: workers})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		j := &Job{
+			ID: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context, []any) (any, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return nil, nil
+			},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Result(context.Background(), j); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}
+
+func TestDepsResolveInOrder(t *testing.T) {
+	r := New(Options{Workers: 4})
+	var runsA, runsB atomic.Int64
+	a := leafJob("a", &runsA, "payload-a")
+	b := leafJob("b", &runsB, "payload-b")
+	top := &Job{
+		ID:   "top",
+		Deps: []*Job{a, b},
+		Run: func(_ context.Context, deps []any) (any, error) {
+			return deps[0].(string) + "+" + deps[1].(string), nil
+		},
+	}
+	v, err := r.Result(context.Background(), top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "payload-a+payload-b" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestDiamondDepRunsOnce(t *testing.T) {
+	r := New(Options{Workers: 4})
+	var runs atomic.Int64
+	base := leafJob("base", &runs, 1)
+	mid := func(id string) *Job {
+		return &Job{
+			ID:   id,
+			Deps: []*Job{base},
+			Run:  func(_ context.Context, deps []any) (any, error) { return deps[0].(int) + 1, nil },
+		}
+	}
+	top := &Job{
+		ID:   "top",
+		Deps: []*Job{mid("left"), mid("right")},
+		Run: func(_ context.Context, deps []any) (any, error) {
+			return deps[0].(int) + deps[1].(int), nil
+		},
+	}
+	v, err := r.Result(context.Background(), top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 4 {
+		t.Fatalf("got %v, want 4", v)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("shared dep ran %d times, want 1", n)
+	}
+}
+
+func TestDepErrorPropagatesWithPath(t *testing.T) {
+	r := New(Options{Workers: 2})
+	bad := &Job{
+		ID:  "bad",
+		Run: func(context.Context, []any) (any, error) { return nil, errors.New("boom") },
+	}
+	top := &Job{
+		ID:   "top",
+		Deps: []*Job{bad},
+		Run:  func(_ context.Context, deps []any) (any, error) { return nil, nil },
+	}
+	_, err := r.Result(context.Background(), top)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, part := range []string{"top", "bad", "boom"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Fatalf("error %q missing %q", err, part)
+		}
+	}
+}
+
+func TestPanicIsolated(t *testing.T) {
+	r := New(Options{Workers: 2})
+	j := &Job{
+		ID:  "panics",
+		Run: func(context.Context, []any) (any, error) { panic("kaboom") },
+	}
+	_, err := r.Result(context.Background(), j)
+	if err == nil || !strings.Contains(err.Error(), "panic: kaboom") {
+		t.Fatalf("got %v, want panic error", err)
+	}
+	s := r.Stats()
+	if s.Panics != 1 || s.Failed != 1 {
+		t.Fatalf("stats %+v, want 1 panic, 1 failed", s)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	r := New(Options{Workers: 1, Retries: 2})
+	var attempts atomic.Int64
+	j := &Job{
+		ID: "flaky",
+		Run: func(context.Context, []any) (any, error) {
+			if attempts.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return "ok", nil
+		},
+	}
+	v, err := r.Result(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "ok" {
+		t.Fatalf("got %v", v)
+	}
+	if s := r.Stats(); s.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	r := New(Options{Workers: 1, Retries: 1})
+	var attempts atomic.Int64
+	j := &Job{
+		ID: "hopeless",
+		Run: func(context.Context, []any) (any, error) {
+			attempts.Add(1)
+			return nil, errors.New("permanent")
+		},
+	}
+	if _, err := r.Result(context.Background(), j); err == nil {
+		t.Fatal("want error")
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("attempts = %d, want 2 (1 + 1 retry)", n)
+	}
+}
+
+func TestTimeoutAbandonsAttempt(t *testing.T) {
+	r := New(Options{Workers: 1, Timeout: 5 * time.Millisecond})
+	block := make(chan struct{})
+	j := &Job{
+		ID: "stuck",
+		Run: func(context.Context, []any) (any, error) {
+			<-block
+			return nil, nil
+		},
+	}
+	_, err := r.Result(context.Background(), j)
+	close(block)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("got %v, want timeout", err)
+	}
+	if s := r.Stats(); s.Timeouts < 1 {
+		t.Fatalf("timeouts = %d, want >= 1", s.Timeouts)
+	}
+}
+
+func TestCancellationPreemptsWaiters(t *testing.T) {
+	r := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	block := make(chan struct{})
+	slow := &Job{
+		ID: "holder",
+		Run: func(context.Context, []any) (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		},
+	}
+	go r.Result(context.Background(), slow)
+	<-started
+	// The only worker slot is held; this submission must abort on cancel
+	// rather than wait for it.
+	waiter := &Job{
+		ID:  "waiter",
+		Run: func(context.Context, []any) (any, error) { return nil, nil },
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Result(ctx, waiter)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled submission did not return")
+	}
+	close(block)
+}
+
+func TestCancellationNotRetried(t *testing.T) {
+	r := New(Options{Workers: 1, Retries: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int64
+	j := &Job{
+		ID: "cancel-mid-run",
+		Run: func(context.Context, []any) (any, error) {
+			attempts.Add(1)
+			cancel()
+			return nil, errors.New("failed after cancel")
+		},
+	}
+	if _, err := r.Result(ctx, j); err == nil {
+		t.Fatal("want error")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry after cancellation)", n)
+	}
+}
+
+func TestCacheHitSkipsRunAndDeps(t *testing.T) {
+	cache, err := OpenCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hash("test", "cache-hit")
+	cache.Put(h, JSONCodec[int]{}, 7)
+	r := New(Options{Workers: 2, Cache: cache})
+	var depRuns atomic.Int64
+	dep := leafJob("dep", &depRuns, "never")
+	j := &Job{
+		ID:    "cached",
+		Kind:  KindSim,
+		Hash:  h,
+		Codec: JSONCodec[int]{},
+		Deps:  []*Job{dep},
+		Run: func(context.Context, []any) (any, error) {
+			t.Error("Run executed despite cache hit")
+			return nil, nil
+		},
+	}
+	v, err := r.Result(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 7 {
+		t.Fatalf("got %v, want 7", v)
+	}
+	if n := depRuns.Load(); n != 0 {
+		t.Fatalf("dependency ran %d times; a cache hit must prune the DAG", n)
+	}
+	s := r.Stats()
+	if s.SimHits != 1 || s.SimRuns != 0 {
+		t.Fatalf("stats %+v, want 1 sim hit, 0 sim runs", s)
+	}
+}
+
+func TestStatsSummaryShape(t *testing.T) {
+	r := New(Options{Workers: 1})
+	var runs atomic.Int64
+	if _, err := r.Result(context.Background(), leafJob("one", &runs, nil)); err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Stats().Summary()
+	for _, part := range []string{"jobs:", "sims:", "profiles:", "derived:", "cache:"} {
+		if !strings.Contains(sum, part) {
+			t.Fatalf("summary %q missing %q", sum, part)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if w := New(Options{}).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+}

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"twig/internal/telemetry"
+)
+
+// counters is the runner's live, atomically updated telemetry.
+type counters struct {
+	Scheduled atomic.Int64
+	Running   atomic.Int64
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Retries   atomic.Int64
+	Panics    atomic.Int64
+	Timeouts  atomic.Int64
+
+	SimRuns     atomic.Int64
+	SimHits     atomic.Int64
+	ProfileRuns atomic.Int64
+	ProfileHits atomic.Int64
+	DerivedRuns atomic.Int64
+	DerivedHits atomic.Int64
+	OtherRuns   atomic.Int64
+	OtherHits   atomic.Int64
+}
+
+func (c *counters) hit(k Kind) {
+	c.Done.Add(1)
+	switch k {
+	case KindSim:
+		c.SimHits.Add(1)
+	case KindProfile:
+		c.ProfileHits.Add(1)
+	case KindDerived:
+		c.DerivedHits.Add(1)
+	default:
+		c.OtherHits.Add(1)
+	}
+}
+
+func (c *counters) ran(k Kind) {
+	switch k {
+	case KindSim:
+		c.SimRuns.Add(1)
+	case KindProfile:
+		c.ProfileRuns.Add(1)
+	case KindDerived:
+		c.DerivedRuns.Add(1)
+	default:
+		c.OtherRuns.Add(1)
+	}
+}
+
+// Stats is a point-in-time snapshot of a Runner's counters plus its
+// cache's counters (zero-valued when no cache is configured).
+type Stats struct {
+	// Scheduled/Done/Failed count job lifecycles; Done includes cache
+	// hits. Retries, Panics and Timeouts count recovered incidents.
+	Scheduled, Done, Failed, Retries, Panics, Timeouts int64
+	// SimRuns counts evaluation simulations actually executed;
+	// SimHits counts those served from the cache instead. Profile and
+	// Derived pairs are the analogous counts for training runs and
+	// derived-statistic jobs; OtherRuns/OtherHits cover the rest.
+	SimRuns, SimHits         int64
+	ProfileRuns, ProfileHits int64
+	DerivedRuns, DerivedHits int64
+	OtherRuns, OtherHits     int64
+	// Cache tiers: MemHits hit the in-memory LRU, DiskHits the
+	// persistent store; Stores counts writes. CorruptEvicted and
+	// StaleEvicted count on-disk entries discarded during recovery
+	// (undecodable bytes and format/simulator version mismatches).
+	MemHits, DiskHits, Stores, CorruptEvicted, StaleEvicted int64
+}
+
+// Stats returns a snapshot of the runner's (and its cache's) counters.
+func (r *Runner) Stats() Stats {
+	s := Stats{
+		Scheduled:   r.stats.Scheduled.Load(),
+		Done:        r.stats.Done.Load(),
+		Failed:      r.stats.Failed.Load(),
+		Retries:     r.stats.Retries.Load(),
+		Panics:      r.stats.Panics.Load(),
+		Timeouts:    r.stats.Timeouts.Load(),
+		SimRuns:     r.stats.SimRuns.Load(),
+		SimHits:     r.stats.SimHits.Load(),
+		ProfileRuns: r.stats.ProfileRuns.Load(),
+		ProfileHits: r.stats.ProfileHits.Load(),
+		DerivedRuns: r.stats.DerivedRuns.Load(),
+		DerivedHits: r.stats.DerivedHits.Load(),
+		OtherRuns:   r.stats.OtherRuns.Load(),
+		OtherHits:   r.stats.OtherHits.Load(),
+	}
+	if c := r.opts.Cache; c != nil {
+		s.MemHits = c.stats.MemHits.Load()
+		s.DiskHits = c.stats.DiskHits.Load()
+		s.Stores = c.stats.Stores.Load()
+		s.CorruptEvicted = c.stats.CorruptEvicted.Load()
+		s.StaleEvicted = c.stats.StaleEvicted.Load()
+	}
+	return s
+}
+
+// Summary renders the snapshot as the one-line cache hit/miss report
+// printed by cmd/experiments at exit. It is deterministic for a given
+// job matrix and cache state, so parallel and serial runs print the
+// same line.
+func (s Stats) Summary() string {
+	return fmt.Sprintf(
+		"jobs: %d done, %d failed | sims: %d run, %d cached | profiles: %d run, %d cached | derived: %d run, %d cached | cache: %d mem + %d disk hits, %d stores, %d corrupt, %d stale",
+		s.Done, s.Failed, s.SimRuns, s.SimHits, s.ProfileRuns, s.ProfileHits,
+		s.DerivedRuns, s.DerivedHits, s.MemHits, s.DiskHits, s.Stores,
+		s.CorruptEvicted, s.StaleEvicted)
+}
+
+// PublishTo registers the runner's counters as live gauges on a
+// telemetry registry (namespace runner_*), so job progress and cache
+// effectiveness are visible on the live endpoint while a sweep runs.
+// Gauge reads are atomic loads and safe against concurrent jobs.
+func (r *Runner) PublishTo(reg *telemetry.Registry) {
+	gauges := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"runner_jobs_scheduled", &r.stats.Scheduled},
+		{"runner_jobs_running", &r.stats.Running},
+		{"runner_jobs_done", &r.stats.Done},
+		{"runner_jobs_failed", &r.stats.Failed},
+		{"runner_jobs_retried", &r.stats.Retries},
+		{"runner_jobs_panicked", &r.stats.Panics},
+		{"runner_jobs_timed_out", &r.stats.Timeouts},
+		{"runner_sims_run", &r.stats.SimRuns},
+		{"runner_sims_cached", &r.stats.SimHits},
+		{"runner_profiles_run", &r.stats.ProfileRuns},
+		{"runner_profiles_cached", &r.stats.ProfileHits},
+		{"runner_derived_run", &r.stats.DerivedRuns},
+		{"runner_derived_cached", &r.stats.DerivedHits},
+	}
+	for _, g := range gauges {
+		v := g.v
+		reg.GaugeInt(g.name, v.Load)
+	}
+	if c := r.opts.Cache; c != nil {
+		c.PublishTo(reg)
+	}
+}

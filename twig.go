@@ -18,14 +18,17 @@
 package twig
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"twig/internal/check"
 	"twig/internal/core"
 	"twig/internal/experiments"
 	"twig/internal/metrics"
 	"twig/internal/pipeline"
+	"twig/internal/runner"
 	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
@@ -104,6 +107,14 @@ type Config struct {
 	// knob (and additionally assert per-instruction pipeline
 	// invariants). See TESTING.md.
 	Check bool
+	// Jobs bounds RunMatrix's worker pool; <= 0 means GOMAXPROCS.
+	// Results are byte-identical regardless of the worker count.
+	Jobs int
+	// CacheDir roots RunMatrix's persistent result cache; "" falls back
+	// to $TWIG_CACHE_DIR (no disk cache when that is also empty). A warm
+	// cache replays the whole matrix — including training profiles —
+	// without executing a single simulation.
+	CacheDir string
 }
 
 // DefaultConfig returns the paper's operating point with a window sized
@@ -453,6 +464,124 @@ func (s *System) finish(r *pipeline.Result, err error) (Result, error) {
 		s.live.Update(s.reg, r.Series)
 	}
 	return toResult(r), nil
+}
+
+// MatrixKey names one cell of a RunMatrix sweep: an application, a
+// scheme (see SchemeNames) and an input number.
+type MatrixKey struct {
+	App    App
+	Scheme string
+	Input  int
+}
+
+// SchemeNames lists the scheme names RunMatrix accepts.
+func SchemeNames() []string {
+	return []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
+}
+
+// matrixSchemes maps scheme names to artifact runners, and to the memo
+// keys the experiment harness uses for the same simulations — so a
+// cache warmed by cmd/experiments serves RunMatrix and vice versa.
+var matrixSchemes = map[string]struct {
+	memo string
+	run  func(*core.Artifacts, int, core.Options) (*pipeline.Result, error)
+}{
+	"baseline":   {"base", (*core.Artifacts).RunBaseline},
+	"ideal":      {"ideal", (*core.Artifacts).RunIdealBTB},
+	"twig":       {"twig", (*core.Artifacts).RunTwig},
+	"shotgun":    {"shotgun", (*core.Artifacts).RunShotgun},
+	"confluence": {"confluence", (*core.Artifacts).RunConfluence},
+}
+
+// RunMatrix simulates every requested application × scheme × input cell
+// on a worker pool of cfg.Jobs workers, backed by a persistent result
+// cache under cfg.CacheDir. Empty slices mean "all nine applications",
+// "all five schemes" and "input 0". Each application is built, profiled
+// and analyzed once as a job DAG shared by its cells; on a warm cache
+// every cell — and the training profile behind it — replays from disk
+// without executing anything. The returned map holds one Result per
+// cell and is identical for any worker count.
+func RunMatrix(cfg Config, apps []App, schemes []string, inputs []int) (map[MatrixKey]Result, error) {
+	if len(apps) == 0 {
+		apps = Apps()
+	}
+	if len(schemes) == 0 {
+		schemes = SchemeNames()
+	}
+	if len(inputs) == 0 {
+		inputs = []int{0}
+	}
+	for _, s := range schemes {
+		if _, ok := matrixSchemes[s]; !ok {
+			return nil, fmt.Errorf("twig: unknown scheme %q (known: %v)", s, SchemeNames())
+		}
+	}
+	opts := cfg.options()
+	dir := cfg.CacheDir
+	if dir == "" {
+		dir = runner.DefaultCacheDir()
+	}
+	cache, err := runner.OpenCache(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("twig: %w", err)
+	}
+	run := runner.New(runner.Options{Workers: cfg.Jobs, Cache: cache})
+	ctx := context.Background()
+
+	type cell struct {
+		key MatrixKey
+		job *runner.Job
+	}
+	var cells []cell
+	for _, app := range apps {
+		art := runner.ArtifactsJob(app, 0, opts, "")
+		for _, scheme := range schemes {
+			sc := matrixSchemes[scheme]
+			for _, input := range inputs {
+				key := MatrixKey{app, scheme, input}
+				memo := fmt.Sprintf("%s/%s/%d", sc.memo, app, input)
+				h := ""
+				if runner.Cacheable(opts) {
+					h = runner.HashSim(memo, opts)
+				}
+				cells = append(cells, cell{key, &runner.Job{
+					ID:    "run/" + memo,
+					Kind:  runner.KindSim,
+					Hash:  h,
+					Codec: runner.ResultCodec{},
+					Deps:  []*runner.Job{art},
+					Run: func(_ context.Context, deps []any) (any, error) {
+						return sc.run(deps[0].(*core.Artifacts), input, opts)
+					},
+				}})
+			}
+		}
+	}
+
+	vals := make([]*pipeline.Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, j *runner.Job) {
+			defer wg.Done()
+			v, err := run.Result(ctx, j)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i] = v.(*pipeline.Result)
+		}(i, c.job)
+	}
+	wg.Wait()
+	out := make(map[MatrixKey]Result, len(cells))
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("twig: %s/%s/%d: %w", c.key.App, c.key.Scheme, c.key.Input, errs[i])
+		}
+		out[c.key] = toResult(vals[i])
+	}
+	return out, nil
 }
 
 // RunExperiments regenerates the paper's tables and figures into w.
