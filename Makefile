@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz cover bench experiments clean
+.PHONY: all build test race vet fmt check docs fuzz cover bench bench-check bench-update experiments clean
 
 all: vet build test
 
@@ -31,23 +31,39 @@ check:
 	$(GO) test ./...
 	$(GO) test -tags twigcheck ./...
 
+# docs fails if any package lacks its doc comment (same check CI runs).
+docs:
+	./scripts/checkdocs.sh
+
 # fuzz runs the same 20-second smoke of every fuzz target CI runs.
 fuzz:
 	$(GO) test ./internal/profile -run='^$$' -fuzz=FuzzLoad -fuzztime=20s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=20s
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzBuild -fuzztime=20s
 	$(GO) test ./internal/runner -run='^$$' -fuzz=FuzzDecode -fuzztime=20s
+	$(GO) test ./internal/u64table -run='^$$' -fuzz=FuzzTable -fuzztime=20s
 
 # cover writes coverage.out and prints the per-function summary.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -n 20
 
-# bench records the perf trajectory: ns/op and simulated kIPS for the
-# three main schemes (baseline, twig, shotgun) on the default
-# 1M-instruction cassandra run, written to BENCH_pipeline.json.
+# bench measures simulator throughput (ns/op and simulated kIPS) for
+# the three main schemes on the default 1M-instruction cassandra run
+# and prints the delta against the committed BENCH_pipeline.json; see
+# PERFORMANCE.md for the methodology.
 bench:
-	$(GO) run ./cmd/twigstat -bench -o BENCH_pipeline.json
+	$(GO) run ./cmd/twigbench -reps 5
+
+# bench-check fails if any scheme regresses >10% kIPS against the
+# committed baseline (the CI bench-regression job's local equivalent).
+bench-check:
+	$(GO) run ./cmd/twigbench -reps 5 -check -tolerance 0.10
+
+# bench-update rewrites BENCH_pipeline.json with this machine's
+# numbers; commit the result when the hot path deliberately changes.
+bench-update:
+	$(GO) run ./cmd/twigbench -reps 5 -update
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -58,5 +74,7 @@ experiments:
 experiments-fast:
 	$(GO) run ./cmd/experiments -j 0 -cache .twig-cache
 
+# BENCH_pipeline.json is a committed baseline (bench-update regenerates
+# it deliberately); clean only removes derived files.
 clean:
-	rm -f BENCH_pipeline.json coverage.out
+	rm -f coverage.out

@@ -19,6 +19,7 @@ import (
 	"twig/internal/bpu"
 	"twig/internal/btb"
 	"twig/internal/cache"
+	"twig/internal/core"
 	"twig/internal/exec"
 	"twig/internal/experiments"
 	"twig/internal/isa"
@@ -154,6 +155,76 @@ func BenchmarkPipelineBaseline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	res, err := pipeline.Run(p, params.Input(0), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.IPC(), "sim-IPC")
+}
+
+// benchArtifacts builds the trained cassandra artifacts once and reuses
+// them across b.N re-runs (BuildAndOptimize dominates setup otherwise).
+var benchArt struct {
+	art  *core.Artifacts
+	opts core.Options
+	err  error
+	done bool
+}
+
+func benchArtifacts(b *testing.B) (*core.Artifacts, core.Options) {
+	if !benchArt.done {
+		opts := core.DefaultOptions()
+		opts.ProfileInstructions = 500_000
+		art, err := core.BuildAndOptimize(workload.Cassandra, 0, opts)
+		benchArt.art, benchArt.opts, benchArt.err = art, opts, err
+		benchArt.done = true
+	}
+	if benchArt.err != nil {
+		b.Fatal(benchArt.err)
+	}
+	return benchArt.art, benchArt.opts
+}
+
+// BenchmarkPipelineTwig measures the per-instruction cost of the full
+// Twig configuration: optimized binary, baseline BTB plus the
+// architectural prefetch buffer consuming injected prefetches.
+func BenchmarkPipelineTwig(b *testing.B) {
+	art, opts := benchArtifacts(b)
+	cfg := pipeline.DefaultConfig()
+	cfg.BackendCPI = art.Params.BackendCPI
+	cfg.CondMispredictRate = art.Params.CondMispredictRate
+	cfg.MaxInstructions = int64(b.N)
+	if cfg.MaxInstructions < 1000 {
+		cfg.MaxInstructions = 1000
+	}
+	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := pipeline.Run(art.Optimized, art.Input(0), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.IPC(), "sim-IPC")
+}
+
+// BenchmarkPipelineShotgun measures the per-instruction cost of the
+// Shotgun scheme (unmodified binary, spatial-footprint prefetching,
+// 1536-entry RAS).
+func BenchmarkPipelineShotgun(b *testing.B) {
+	art, _ := benchArtifacts(b)
+	cfg := pipeline.DefaultConfig()
+	cfg.BackendCPI = art.Params.BackendCPI
+	cfg.CondMispredictRate = art.Params.CondMispredictRate
+	cfg.RASEntries = 1536
+	cfg.MaxInstructions = int64(b.N)
+	if cfg.MaxInstructions < 1000 {
+		cfg.MaxInstructions = 1000
+	}
+	cfg.Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := pipeline.Run(art.Program, art.Input(0), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+// Command twigbench measures end-to-end simulator throughput (simulated
+// kilo-instructions per second) across a scheme × application matrix and
+// manages the committed baseline file BENCH_pipeline.json.
+//
+// Three modes, combinable left to right:
+//
+//	twigbench                          # measure, print table + delta vs baseline file
+//	twigbench -update                  # measure and rewrite the baseline file
+//	twigbench -check -tolerance 0.10   # measure and exit 1 on >10% kIPS regression
+//
+// The baseline file keeps the single-app format cmd/twigstat -bench
+// introduced (benchmark/app/instructions/results), so -update and
+// -check require exactly one app; the matrix mode (-apps with several
+// names, or "all") is for reading the performance landscape, not for
+// regression tracking. PERFORMANCE.md documents the methodology and
+// when to regenerate the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"twig"
+)
+
+// benchResult is one scheme's timing, matching the JSON schema
+// cmd/twigstat -bench established.
+type benchResult struct {
+	Scheme  string  `json:"scheme"`
+	NsPerOp int64   `json:"ns_per_op"`
+	SimKIPS float64 `json:"sim_kips"`
+}
+
+// benchFile is the persisted BENCH_pipeline.json payload.
+type benchFile struct {
+	Benchmark    string        `json:"benchmark"`
+	App          string        `json:"app"`
+	Instructions int64         `json:"instructions"`
+	Results      []benchResult `json:"results"`
+}
+
+func main() {
+	var (
+		apps         = flag.String("apps", "cassandra", `comma-separated applications, or "all"`)
+		schemes      = flag.String("schemes", "baseline,twig,shotgun", "comma-separated schemes (baseline|twig|shotgun)")
+		instructions = flag.Int64("n", 1_000_000, "simulation window per run")
+		train        = flag.Int("train", 0, "Twig training input number")
+		reps         = flag.Int("reps", 3, "timed repetitions per cell (best is kept, after one warmup)")
+		baseline     = flag.String("baseline", "BENCH_pipeline.json", "committed baseline file to compare against")
+		update       = flag.Bool("update", false, "rewrite the baseline file with this run's numbers (single app only)")
+		check        = flag.Bool("check", false, "exit 1 if any scheme regresses vs the baseline file (single app only)")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional kIPS regression with -check")
+	)
+	flag.Parse()
+
+	appList, err := resolveApps(*apps)
+	if err != nil {
+		fatal(err)
+	}
+	schemeList := strings.Split(*schemes, ",")
+	for _, s := range schemeList {
+		if s = strings.TrimSpace(s); s != "baseline" && s != "twig" && s != "shotgun" {
+			fatal(fmt.Errorf("unknown scheme %q", s))
+		}
+	}
+	if (*update || *check) && len(appList) != 1 {
+		fatal(fmt.Errorf("-update/-check need exactly one app (got %d): the baseline file is single-app", len(appList)))
+	}
+
+	old, oldErr := readBaseline(*baseline)
+
+	exitCode := 0
+	for _, app := range appList {
+		results, err := benchApp(app, *train, *instructions, *reps, schemeList)
+		if err != nil {
+			fatal(err)
+		}
+		printTable(app, *instructions, results, old)
+
+		if *check {
+			if oldErr != nil {
+				fatal(fmt.Errorf("-check: cannot read baseline %s: %w", *baseline, oldErr))
+			}
+			if !checkRegression(app, *instructions, results, old, *tolerance) {
+				exitCode = 1
+			}
+		}
+		if *update {
+			out := benchFile{Benchmark: "pipeline", App: string(app), Instructions: *instructions, Results: results}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *baseline)
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twigbench:", err)
+	os.Exit(2)
+}
+
+func resolveApps(s string) ([]twig.App, error) {
+	if s == "all" {
+		return twig.Apps(), nil
+	}
+	known := map[twig.App]bool{}
+	for _, a := range twig.Apps() {
+		known[a] = true
+	}
+	var out []twig.App
+	for _, name := range strings.Split(s, ",") {
+		a := twig.App(strings.TrimSpace(name))
+		if !known[a] {
+			return nil, fmt.Errorf("unknown app %q (twigsim -list shows all)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func readBaseline(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// benchApp trains one system and times every requested scheme: one
+// warmup run (page in code paths, warm the scheme's tables' sizing),
+// then best-of-reps wall time. Best-of, not mean: scheduling noise only
+// ever adds time, so the minimum is the cleanest throughput estimate.
+func benchApp(app twig.App, train int, instructions int64, reps int, schemes []string) ([]benchResult, error) {
+	cfg := twig.DefaultConfig()
+	cfg.Instructions = instructions
+	sys, err := twig.NewSystemTrained(app, train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	runners := map[string]func() (twig.Result, error){
+		"baseline": func() (twig.Result, error) { return sys.Baseline(0) },
+		"twig":     func() (twig.Result, error) { return sys.Twig(0) },
+		"shotgun":  func() (twig.Result, error) { return sys.Shotgun(0) },
+	}
+	var results []benchResult
+	for _, name := range schemes {
+		name = strings.TrimSpace(name)
+		run, ok := runners[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		}
+		if _, err := run(); err != nil { // warmup
+			return nil, err
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := run(); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		results = append(results, benchResult{
+			Scheme:  name,
+			NsPerOp: best.Nanoseconds(),
+			SimKIPS: float64(instructions) / best.Seconds() / 1000,
+		})
+	}
+	return results, nil
+}
+
+// printTable prints one app's results; when the baseline file covers
+// the same app and window, a delta column shows new/old throughput.
+func printTable(app twig.App, instructions int64, results []benchResult, old *benchFile) {
+	comparable := old != nil && old.App == string(app) && old.Instructions == instructions
+	fmt.Printf("%s (%d instructions)\n", app, instructions)
+	for _, r := range results {
+		line := fmt.Sprintf("  %-10s %12d ns/op  %10.0f sim-kIPS", r.Scheme, r.NsPerOp, r.SimKIPS)
+		if comparable {
+			if prev, ok := lookup(old, r.Scheme); ok {
+				line += fmt.Sprintf("  %+6.1f%% vs baseline file (%0.f kIPS)",
+					(r.SimKIPS/prev.SimKIPS-1)*100, prev.SimKIPS)
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+func lookup(f *benchFile, scheme string) (benchResult, bool) {
+	for _, r := range f.Results {
+		if r.Scheme == scheme {
+			return r, true
+		}
+	}
+	return benchResult{}, false
+}
+
+// checkRegression compares each measured scheme against the baseline
+// file and reports whether all stayed within tolerance.
+func checkRegression(app twig.App, instructions int64, results []benchResult, old *benchFile, tolerance float64) bool {
+	if old.App != string(app) || old.Instructions != instructions {
+		fmt.Fprintf(os.Stderr, "twigbench: -check: baseline file is %s/%d instructions, run is %s/%d — rerun with matching -apps/-n\n",
+			old.App, old.Instructions, app, instructions)
+		return false
+	}
+	ok := true
+	for _, r := range results {
+		prev, found := lookup(old, r.Scheme)
+		if !found {
+			fmt.Fprintf(os.Stderr, "twigbench: -check: scheme %q missing from baseline file\n", r.Scheme)
+			ok = false
+			continue
+		}
+		floor := prev.SimKIPS * (1 - tolerance)
+		if r.SimKIPS < floor {
+			fmt.Fprintf(os.Stderr, "twigbench: REGRESSION %s: %.0f kIPS < floor %.0f (baseline %.0f, tolerance %.0f%%)\n",
+				r.Scheme, r.SimKIPS, floor, prev.SimKIPS, tolerance*100)
+			ok = false
+		} else {
+			fmt.Printf("  check %-10s OK: %.0f kIPS >= floor %.0f\n", r.Scheme, r.SimKIPS, floor)
+		}
+	}
+	return ok
+}

@@ -1,6 +1,9 @@
 package btb
 
-import "twig/internal/isa"
+import (
+	"twig/internal/isa"
+	"twig/internal/u64table"
+)
 
 // PrefetchBuffer holds BTB entries brought in by prefetch instructions
 // until their first demand lookup, so prefetches neither pollute the
@@ -14,9 +17,15 @@ import "twig/internal/isa"
 // remaining cycles.
 //
 // Replacement is FIFO, matching simple hardware.
+//
+// The pc → slot index is an open-addressed u64table.Table rather than a
+// Go map: Lookup sits on the simulator's per-instruction hot path
+// (every taken BTB miss probes the buffer), and the demand-consume
+// pattern is pure churn — insert, one lookup, delete — which
+// tombstone-free deletion handles without degradation (DESIGN.md §8).
 type PrefetchBuffer struct {
 	capacity int
-	index    map[uint64]int32
+	index    u64table.Table[int32]
 	entries  []bufEntry
 	fifo     []int32 // ring of slot indexes in insertion order
 	fifoHead int
@@ -40,16 +49,17 @@ type bufEntry struct {
 // NewPrefetchBuffer returns a buffer of the given capacity; capacity 0
 // disables the buffer (every Insert is immediately discarded).
 func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
-	return &PrefetchBuffer{
+	p := &PrefetchBuffer{
 		capacity: capacity,
-		index:    make(map[uint64]int32, capacity*2),
 		entries:  make([]bufEntry, capacity),
 		fifo:     make([]int32, capacity),
 	}
+	p.index.Grow(capacity)
+	return p
 }
 
 // Len returns the number of live entries.
-func (p *PrefetchBuffer) Len() int { return len(p.index) }
+func (p *PrefetchBuffer) Len() int { return p.index.Len() }
 
 // Insert stages the entry (pc → target) to become ready at the given
 // cycle. A duplicate pc refreshes the payload but keeps the earlier
@@ -60,7 +70,7 @@ func (p *PrefetchBuffer) Insert(pc, target uint64, kind isa.Kind, ready float64)
 		p.Evicted++
 		return
 	}
-	if i, ok := p.index[pc]; ok {
+	if i, ok := p.index.Get(pc); ok {
 		e := &p.entries[i]
 		e.target = target
 		e.kind = kind
@@ -72,27 +82,38 @@ func (p *PrefetchBuffer) Insert(pc, target uint64, kind isa.Kind, ready float64)
 	var slot int32
 	if p.fifoLen == p.capacity {
 		slot = p.fifo[p.fifoHead]
-		p.fifoHead = (p.fifoHead + 1) % p.capacity
+		if p.fifoHead++; p.fifoHead == p.capacity {
+			p.fifoHead = 0
+		}
 		p.fifoLen--
 		old := &p.entries[slot]
 		if old.valid {
-			delete(p.index, old.pc)
+			p.index.Delete(old.pc)
 			p.Evicted++
 		}
 	} else {
 		// Find a free slot: with FIFO of equal capacity, slot reuse is
 		// cyclic, so the tail position is free.
-		slot = int32((p.fifoHead + p.fifoLen) % p.capacity)
+		slot = int32(p.fifoTail())
 		if p.entries[slot].valid {
 			// Defensive: should not happen; treat as eviction.
-			delete(p.index, p.entries[slot].pc)
+			p.index.Delete(p.entries[slot].pc)
 			p.Evicted++
 		}
 	}
 	p.entries[slot] = bufEntry{pc: pc, target: target, ready: ready, kind: kind, valid: true}
-	p.index[pc] = slot
-	p.fifo[(p.fifoHead+p.fifoLen)%p.capacity] = slot
+	p.index.Put(pc, slot)
+	p.fifo[p.fifoTail()] = slot
 	p.fifoLen++
+}
+
+// fifoTail returns the ring position one past the newest entry.
+func (p *PrefetchBuffer) fifoTail() int {
+	i := p.fifoHead + p.fifoLen
+	if i >= p.capacity {
+		i -= p.capacity
+	}
+	return i
 }
 
 // Lookup consumes the entry for pc if present. It returns the entry,
@@ -100,12 +121,12 @@ func (p *PrefetchBuffer) Insert(pc, target uint64, kind isa.Kind, ready float64)
 // (lateBy > 0 means the prefetch had not completed; the caller charges
 // that residual as a reduced resteer).
 func (p *PrefetchBuffer) Lookup(pc uint64, cycle float64) (e Entry, ok bool, lateBy float64) {
-	i, found := p.index[pc]
+	i, found := p.index.Get(pc)
 	if !found {
 		return Entry{}, false, 0
 	}
 	be := &p.entries[i]
-	delete(p.index, pc)
+	p.index.Delete(pc)
 	be.valid = false
 	p.Used++
 	if be.ready > cycle {
@@ -117,6 +138,5 @@ func (p *PrefetchBuffer) Lookup(pc uint64, cycle float64) (e Entry, ok bool, lat
 
 // Contains reports presence without consuming.
 func (p *PrefetchBuffer) Contains(pc uint64) bool {
-	_, ok := p.index[pc]
-	return ok
+	return p.index.Contains(pc)
 }

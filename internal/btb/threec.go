@@ -1,5 +1,7 @@
 package btb
 
+import "twig/internal/u64table"
+
 // ThreeC classifies BTB misses into compulsory, capacity, and conflict
 // misses using Hill & Smith's 3C model (the classification the paper's
 // Fig. 4 reports):
@@ -10,11 +12,15 @@ package btb
 //   - capacity:   the access misses both.
 //
 // The fully-associative shadow is an exact LRU over branch PCs
-// implemented as an intrusive doubly-linked list over a slab, with a
-// map for tag lookup; O(1) per access.
+// implemented as an intrusive doubly-linked list over a slab, with an
+// open-addressed u64table for tag lookup; O(1) per access. Record is
+// called for every demand BTB access when classification is on, so the
+// index shares the hot path's no-map rule (DESIGN.md §8). The seen
+// set is append-only and unbounded (one entry per distinct branch PC);
+// the table grows by amortized doubling.
 type ThreeC struct {
 	capacity int
-	index    map[uint64]int32
+	index    u64table.Table[int32]
 	pcs      []uint64
 	prev     []int32
 	next     []int32
@@ -22,7 +28,7 @@ type ThreeC struct {
 	tail     int32 // least recent
 	used     int
 
-	seen map[uint64]struct{}
+	seen u64table.Set
 
 	// Compulsory, Capacity and Conflict count classified misses.
 	Compulsory, Capacity, Conflict int64
@@ -31,16 +37,16 @@ type ThreeC struct {
 // NewThreeC returns a classifier whose fully-associative shadow holds
 // capacity entries (use the real BTB's entry count).
 func NewThreeC(capacity int) *ThreeC {
-	return &ThreeC{
+	t := &ThreeC{
 		capacity: capacity,
-		index:    make(map[uint64]int32, capacity*2),
 		pcs:      make([]uint64, 0, capacity),
 		prev:     make([]int32, 0, capacity),
 		next:     make([]int32, 0, capacity),
 		head:     -1,
 		tail:     -1,
-		seen:     make(map[uint64]struct{}, capacity*4),
 	}
+	t.index.Grow(capacity)
+	return t
 }
 
 // Record observes one demand BTB access and, if the real BTB missed,
@@ -48,7 +54,7 @@ func NewThreeC(capacity int) *ThreeC {
 // so the shadow's recency state matches an equal-capacity
 // fully-associative BTB observing the same reference stream.
 func (t *ThreeC) Record(pc uint64, realMiss bool) {
-	_, everSeen := t.seen[pc]
+	everSeen := t.seen.Contains(pc)
 	faHit := t.touch(pc)
 	if realMiss {
 		switch {
@@ -61,7 +67,7 @@ func (t *ThreeC) Record(pc uint64, realMiss bool) {
 		}
 	}
 	if !everSeen {
-		t.seen[pc] = struct{}{}
+		t.seen.Add(pc)
 	}
 }
 
@@ -71,7 +77,7 @@ func (t *ThreeC) Total() int64 { return t.Compulsory + t.Capacity + t.Conflict }
 // touch performs a fully-associative LRU access: returns whether pc was
 // present, and makes it most-recent (inserting, evicting LRU if full).
 func (t *ThreeC) touch(pc uint64) bool {
-	if i, ok := t.index[pc]; ok {
+	if i, ok := t.index.Get(pc); ok {
 		t.moveToFront(i)
 		return true
 	}
@@ -85,11 +91,11 @@ func (t *ThreeC) touch(pc uint64) bool {
 	} else {
 		// Evict LRU (tail).
 		i = t.tail
-		delete(t.index, t.pcs[i])
+		t.index.Delete(t.pcs[i])
 		t.unlink(i)
 		t.pcs[i] = pc
 	}
-	t.index[pc] = i
+	t.index.Put(pc, i)
 	t.pushFront(i)
 	return false
 }

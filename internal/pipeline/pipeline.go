@@ -51,6 +51,7 @@ import (
 	"twig/internal/prefetcher"
 	"twig/internal/program"
 	"twig/internal/telemetry"
+	"twig/internal/u64table"
 )
 
 // Config parameterizes one simulation run.
@@ -286,19 +287,19 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 		tage = bpu.NewTAGE(bpu.DefaultTAGEConfig())
 	}
 	sim := &simulator{
-		p:        p,
-		cfg:      cfg,
-		src:      src,
-		scheme:   scheme,
-		tage:     tage,
-		dir:      bpu.NewDirectionPredictor(cfg.CondMispredictRate),
-		ras:      bpu.NewRAS(cfg.RASEntries),
-		ibtb:     bpu.NewIBTB(cfg.IBTBEntries, cfg.IBTBWays),
-		hier:     cache.NewHierarchy(cfg.Hierarchy),
-		ftq:      make([]float64, cfg.FTQSize),
-		rob:      make([]float64, cfg.ROBSize),
-		inflight: make(map[uint64]fill, 64),
+		p:      p,
+		cfg:    cfg,
+		src:    src,
+		scheme: scheme,
+		tage:   tage,
+		dir:    bpu.NewDirectionPredictor(cfg.CondMispredictRate),
+		ras:    bpu.NewRAS(cfg.RASEntries),
+		ibtb:   bpu.NewIBTB(cfg.IBTBEntries, cfg.IBTBWays),
+		hier:   cache.NewHierarchy(cfg.Hierarchy),
+		ftq:    make([]float64, cfg.FTQSize),
+		rob:    make([]float64, cfg.ROBSize),
 	}
+	sim.inflight.Grow(64)
 	scheme.Attach(sim)
 	sim.setupTelemetry()
 	sim.run()
@@ -379,8 +380,15 @@ type simulator struct {
 	// times, so a demand access racing a next-line prefetch pays only
 	// the remaining latency — and no more than FDIP's own prefetch of
 	// the same line (issued at the BPU clock) would have cost, since
-	// the MSHR merges requesters and the earliest issue wins.
-	inflight map[uint64]fill
+	// the MSHR merges requesters and the earliest issue wins. It is an
+	// open-addressed table, not a map: it is probed for every new line
+	// the fetch engine touches (MSHR-style, see DESIGN.md §8).
+	inflight u64table.Table[fill]
+
+	// reso is the scratch Resolution passed to the scheme each branch.
+	// It lives on the simulator so the per-branch &reso interface call
+	// does not force a heap allocation every instruction.
+	reso prefetcher.Resolution
 
 	// rob is a ring of retire completion times; fetch stalls on the
 	// oldest when the window is full.
@@ -494,7 +502,9 @@ func (s *simulator) run() {
 				if t := s.ftq[s.ftqHead]; t > s.bpuC {
 					s.bpuC = t
 				}
-				s.ftqHead = (s.ftqHead + 1) % len(s.ftq)
+				if s.ftqHead++; s.ftqHead == len(s.ftq) {
+					s.ftqHead = 0
+				}
 				s.ftqLen--
 			}
 
@@ -547,7 +557,9 @@ func (s *simulator) run() {
 			if t := s.rob[s.robHead]; t > fstart {
 				fstart = t
 			}
-			s.robHead = (s.robHead + 1) % len(s.rob)
+			if s.robHead++; s.robHead == len(s.rob) {
+				s.robHead = 0
+			}
 			s.robLen--
 		}
 		// A late prefetched BTB entry stalls the redirect briefly.
@@ -574,8 +586,8 @@ func (s *simulator) run() {
 				// next-line prefetch: pay the remainder, capped by when
 				// FDIP's own request (issued at the BPU clock, or at the
 				// resteer discovery) would have completed.
-				if f, ok := s.inflight[line]; ok {
-					delete(s.inflight, line)
+				if f, ok := s.inflight.Get(line); ok {
+					s.inflight.Delete(line)
 					ready := f.ready
 					if cfg.FDIP {
 						issue := bpuTime
@@ -636,21 +648,21 @@ func (s *simulator) run() {
 					if s.hier.L1.Probe(nl) {
 						continue
 					}
-					if _, ok := s.inflight[nl]; ok {
+					if s.inflight.Contains(nl) {
 						continue
 					}
 					if plat := s.hier.Prefetch(nl); plat > 0 {
-						if len(s.inflight) > 8192 {
+						if s.inflight.Len() > 8192 {
 							// Prune completed fills that were never
-							// demanded, so the tracking map stays
-							// bounded on long runs.
-							for l, f := range s.inflight {
-								if f.ready < fstart {
-									delete(s.inflight, l)
-								}
-							}
+							// demanded, so the tracking table stays
+							// bounded on long runs. cut is a copy so the
+							// closure captures no addressable local.
+							cut := fstart
+							s.inflight.DeleteFunc(func(_ uint64, f fill) bool {
+								return f.ready < cut
+							})
 						}
-						s.inflight[nl] = fill{issue: fstart, ready: fstart + plat}
+						s.inflight.Put(nl, fill{issue: fstart, ready: fstart + plat})
 					}
 				}
 			}
@@ -658,7 +670,11 @@ func (s *simulator) run() {
 		s.fetchC = fstart
 
 		if st.Taken && s.ftqLen < len(s.ftq) {
-			s.ftq[(s.ftqHead+s.ftqLen)%len(s.ftq)] = s.fetchC
+			i := s.ftqHead + s.ftqLen
+			if i >= len(s.ftq) {
+				i -= len(s.ftq)
+			}
+			s.ftq[i] = s.fetchC
 			s.ftqLen++
 		}
 
@@ -705,10 +721,10 @@ func (s *simulator) run() {
 				}
 			}
 
-			reso := prefetcher.Resolution{
+			s.reso = prefetcher.Resolution{
 				PC: in.PC, Target: target, Kind: kind, Taken: st.Taken, Cycle: s.fetchC,
 			}
-			s.scheme.Resolve(&reso)
+			s.scheme.Resolve(&s.reso)
 
 			if btbMissTaken {
 				s.res.BTBResteers++
@@ -788,7 +804,11 @@ func (s *simulator) run() {
 		}
 		s.retireC = rc
 		if s.robLen < len(s.rob) {
-			s.rob[(s.robHead+s.robLen)%len(s.rob)] = rc
+			i := s.robHead + s.robLen
+			if i >= len(s.rob) {
+				i -= len(s.rob)
+			}
+			s.rob[i] = rc
 			s.robLen++
 		}
 

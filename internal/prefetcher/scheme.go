@@ -95,7 +95,10 @@ type Scheme interface {
 	// resteer, and — matching real hardware, where it produces no
 	// BAClears event — is not counted as a real miss.
 	Lookup(pc uint64, kind isa.Kind, cycle float64, taken bool) LookupResult
-	// Resolve delivers the resolved branch for fill and training.
+	// Resolve delivers the resolved branch for fill and training. The
+	// pipeline reuses one Resolution for every branch (keeping the
+	// per-instruction loop allocation-free), so implementations must
+	// copy what they need and not retain r past the call.
 	Resolve(r *Resolution)
 	// OnFetchLine observes the fetch engine moving to a new I-cache
 	// line (used by footprint recorders).

@@ -1,0 +1,76 @@
+package u64table
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTable interprets the input as an operation tape — each 9-byte
+// record is (opcode, key) — applies it to a Table and a map reference
+// in lockstep, and fails on any divergence. It is the adversarial
+// complement to the seeded property tests: the fuzzer searches for
+// probe-chain shapes (collisions, wrap-around, shift cascades) the RNG
+// is unlikely to produce.
+func FuzzTable(f *testing.F) {
+	tape := func(ops ...uint64) []byte {
+		var b []byte
+		for i, k := range ops {
+			b = append(b, byte(i%5))
+			b = binary.LittleEndian.AppendUint64(b, k)
+		}
+		return b
+	}
+	f.Add(tape(1, 2, 3, 4, 5))
+	f.Add(tape(0, 0, 0))                     // zero key through every op
+	f.Add(tape(1, 1+8, 1+16, 1+24, 1, 1+8))  // same low bits: one probe chain
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff}) // truncated record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := New[uint64](0)
+		ref := map[uint64]uint64{}
+		for step := 0; len(data) >= 9; step++ {
+			op := data[0]
+			key := binary.LittleEndian.Uint64(data[1:9])
+			data = data[9:]
+			switch op % 5 {
+			case 0:
+				val := uint64(step)
+				tb.Put(key, val)
+				ref[key] = val
+			case 1:
+				got, ok := tb.Get(key)
+				want, wantOK := ref[key]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("step %d: Get(%#x) = %d,%v; model %d,%v", step, key, got, ok, want, wantOK)
+				}
+			case 2:
+				got := tb.Delete(key)
+				_, want := ref[key]
+				if got != want {
+					t.Fatalf("step %d: Delete(%#x) = %v, model %v", step, key, got, want)
+				}
+				delete(ref, key)
+			case 3:
+				// Predicate deletion keyed off the value's low bit.
+				tb.DeleteFunc(func(_, v uint64) bool { return v&1 == 1 })
+				for k, v := range ref {
+					if v&1 == 1 {
+						delete(ref, k)
+					}
+				}
+			case 4:
+				if tb.Len() != len(ref) {
+					t.Fatalf("step %d: Len = %d, model %d", step, tb.Len(), len(ref))
+				}
+			}
+		}
+		if tb.Len() != len(ref) {
+			t.Fatalf("final Len = %d, model %d", tb.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := tb.Get(k); !ok || got != want {
+				t.Fatalf("final Get(%#x) = %d,%v; model %d,true", k, got, ok, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# checkdocs.sh verifies every Go package carries a package-level doc
+# comment: library packages (root, internal/*, examples/*) must have at
+# least one non-test file starting its package clause with a
+# "// Package <name>" comment; main packages under cmd/ use the
+# "// Command <name>" convention instead. CI runs this (doc-check) so
+# new packages cannot land undocumented.
+#
+# Grep-based on purpose: no go/ast dependency, runs in milliseconds,
+# and the convention it enforces is exactly what godoc renders.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Every directory that contains at least one non-test .go file is a
+# package directory.
+for dir in $(find . -name '*.go' ! -name '*_test.go' ! -path './.git/*' \
+    -exec dirname {} \; | sort -u); do
+    case "$dir" in
+    ./cmd/*) want='^// Command ' ; label='"// Command <name>"' ;;
+    ./examples/*) want='^// ' ; label='top-of-file doc comment' ;;
+    *) want='^// Package ' ; label='"// Package <name>"' ;;
+    esac
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # Examples are package main with a narrative header: the doc
+        # comment must open the file. Library and command packages may
+        # carry the comment in any non-test file (godoc picks it up).
+        case "$dir" in
+        ./examples/*)
+            if head -n 1 "$f" | grep -q "$want"; then ok=1; break; fi ;;
+        *)
+            if grep -q "$want" "$f"; then ok=1; break; fi ;;
+        esac
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "checkdocs: $dir has no $label" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: FAIL — add a package doc comment (see DESIGN.md)" >&2
+    exit 1
+fi
+echo "checkdocs: all packages documented"
