@@ -39,6 +39,8 @@ docs:
 fuzz:
 	$(GO) test ./internal/profile -run='^$$' -fuzz=FuzzLoad -fuzztime=20s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=20s
+	$(GO) test ./internal/exec -run='^$$' -fuzz=FuzzBatchEquivalence -fuzztime=20s
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReaderBatch -fuzztime=20s
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzBuild -fuzztime=20s
 	$(GO) test ./internal/runner -run='^$$' -fuzz=FuzzDecode -fuzztime=20s
 	$(GO) test ./internal/u64table -run='^$$' -fuzz=FuzzTable -fuzztime=20s

@@ -138,6 +138,31 @@ func BenchmarkExecutor(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorBatch measures slab-at-a-time step delivery
+// (exec.BatchSource.NextBatch), the refill path the pipeline's consume
+// loop and the stepcast broadcast producer both use.
+func BenchmarkExecutorBatch(b *testing.B) {
+	params := workload.MustParams(workload.Cassandra)
+	p, err := workload.Build(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := exec.New(p, params.Input(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]exec.Step, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += len(buf) {
+		want := len(buf)
+		if rem := b.N - n; rem < want {
+			want = rem
+		}
+		ex.NextBatch(buf[:want])
+	}
+}
+
 func BenchmarkPipelineBaseline(b *testing.B) {
 	params := workload.MustParams(workload.Cassandra)
 	p, err := workload.Build(params)
@@ -264,6 +289,36 @@ func BenchmarkTraceRecordReplay(b *testing.B) {
 		var st exec.Step
 		for j := 0; j < 100_000; j++ {
 			rd.Next(&st)
+		}
+	}
+}
+
+// BenchmarkTraceReplayBatch is BenchmarkTraceRecordReplay's batched
+// twin: the reader decodes each taken-branch run once per slab refill
+// instead of once per instruction.
+func BenchmarkTraceReplayBatch(b *testing.B) {
+	params := workload.MustParams(workload.Kafka)
+	params.Scale = 0.03
+	p, err := workload.Build(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Record(&buf, p, params.Input(0), 100_000); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := trace.NewReader(bytes.NewReader(data), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slab := make([]exec.Step, 2048)
+		for j := 0; j < 100_000; j += len(slab) {
+			rd.NextBatch(slab)
 		}
 	}
 }

@@ -35,12 +35,27 @@ type benchResult struct {
 	SimKIPS float64 `json:"sim_kips"`
 }
 
-// benchFile is the persisted BENCH_pipeline.json payload.
+// groupedResult times one System.RunSchemes call covering every
+// requested scheme in a single shared-stream pass. SimKIPS is the
+// aggregate rate (schemes × window / wall time); Speedup is the serial
+// per-scheme sum divided by the grouped wall time.
+type groupedResult struct {
+	Schemes []string `json:"schemes"`
+	NsPerOp int64    `json:"ns_per_op"`
+	SimKIPS float64  `json:"sim_kips"`
+	Speedup float64  `json:"speedup_vs_serial"`
+}
+
+// benchFile is the persisted BENCH_pipeline.json payload. Grouped is
+// optional so files written before the grouped metric existed still
+// load (and -check against them still works); readers likewise ignore
+// the extra key.
 type benchFile struct {
-	Benchmark    string        `json:"benchmark"`
-	App          string        `json:"app"`
-	Instructions int64         `json:"instructions"`
-	Results      []benchResult `json:"results"`
+	Benchmark    string         `json:"benchmark"`
+	App          string         `json:"app"`
+	Instructions int64          `json:"instructions"`
+	Results      []benchResult  `json:"results"`
+	Grouped      *groupedResult `json:"grouped,omitempty"`
 }
 
 func main() {
@@ -75,11 +90,11 @@ func main() {
 
 	exitCode := 0
 	for _, app := range appList {
-		results, err := benchApp(app, *train, *instructions, *reps, schemeList)
+		results, grouped, err := benchApp(app, *train, *instructions, *reps, schemeList)
 		if err != nil {
 			fatal(err)
 		}
-		printTable(app, *instructions, results, old)
+		printTable(app, *instructions, results, grouped, old)
 
 		if *check {
 			if oldErr != nil {
@@ -90,7 +105,7 @@ func main() {
 			}
 		}
 		if *update {
-			out := benchFile{Benchmark: "pipeline", App: string(app), Instructions: *instructions, Results: results}
+			out := benchFile{Benchmark: "pipeline", App: string(app), Instructions: *instructions, Results: results, Grouped: grouped}
 			data, err := json.MarshalIndent(out, "", "  ")
 			if err != nil {
 				fatal(err)
@@ -144,12 +159,15 @@ func readBaseline(path string) (*benchFile, error) {
 // warmup run (page in code paths, warm the scheme's tables' sizing),
 // then best-of-reps wall time. Best-of, not mean: scheduling noise only
 // ever adds time, so the minimum is the cleanest throughput estimate.
-func benchApp(app twig.App, train int, instructions int64, reps int, schemes []string) ([]benchResult, error) {
+// With two or more schemes it also times one grouped
+// System.RunSchemes pass over all of them (the shared broadcast
+// stream), reporting its wall clock next to the serial per-scheme sum.
+func benchApp(app twig.App, train int, instructions int64, reps int, schemes []string) ([]benchResult, *groupedResult, error) {
 	cfg := twig.DefaultConfig()
 	cfg.Instructions = instructions
 	sys, err := twig.NewSystemTrained(app, train, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runners := map[string]func() (twig.Result, error){
 		"baseline": func() (twig.Result, error) { return sys.Baseline(0) },
@@ -157,37 +175,67 @@ func benchApp(app twig.App, train int, instructions int64, reps int, schemes []s
 		"shotgun":  func() (twig.Result, error) { return sys.Shotgun(0) },
 	}
 	var results []benchResult
+	var serialSum int64
 	for _, name := range schemes {
 		name = strings.TrimSpace(name)
 		run, ok := runners[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown scheme %q", name)
+			return nil, nil, fmt.Errorf("unknown scheme %q", name)
 		}
 		if _, err := run(); err != nil { // warmup
-			return nil, err
+			return nil, nil, err
 		}
 		best := time.Duration(1<<63 - 1)
 		for i := 0; i < reps; i++ {
 			start := time.Now()
 			if _, err := run(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if d := time.Since(start); d < best {
 				best = d
 			}
 		}
+		serialSum += best.Nanoseconds()
 		results = append(results, benchResult{
 			Scheme:  name,
 			NsPerOp: best.Nanoseconds(),
 			SimKIPS: float64(instructions) / best.Seconds() / 1000,
 		})
 	}
-	return results, nil
+	if len(schemes) < 2 {
+		return results, nil, nil
+	}
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = strings.TrimSpace(s)
+	}
+	if _, err := sys.RunSchemes(0, names...); err != nil { // warmup
+		return nil, nil, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := sys.RunSchemes(0, names...); err != nil {
+			return nil, nil, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	grouped := &groupedResult{
+		Schemes: names,
+		NsPerOp: best.Nanoseconds(),
+		SimKIPS: float64(int64(len(names))*instructions) / best.Seconds() / 1000,
+		Speedup: float64(serialSum) / float64(best.Nanoseconds()),
+	}
+	return results, grouped, nil
 }
 
 // printTable prints one app's results; when the baseline file covers
 // the same app and window, a delta column shows new/old throughput.
-func printTable(app twig.App, instructions int64, results []benchResult, old *benchFile) {
+// The grouped row reports the single-pass matrix wall clock and its
+// speedup over the serial per-scheme sum.
+func printTable(app twig.App, instructions int64, results []benchResult, grouped *groupedResult, old *benchFile) {
 	comparable := old != nil && old.App == string(app) && old.Instructions == instructions
 	fmt.Printf("%s (%d instructions)\n", app, instructions)
 	for _, r := range results {
@@ -197,6 +245,14 @@ func printTable(app twig.App, instructions int64, results []benchResult, old *be
 				line += fmt.Sprintf("  %+6.1f%% vs baseline file (%0.f kIPS)",
 					(r.SimKIPS/prev.SimKIPS-1)*100, prev.SimKIPS)
 			}
+		}
+		fmt.Println(line)
+	}
+	if grouped != nil {
+		line := fmt.Sprintf("  %-10s %12d ns/op  %10.0f sim-kIPS  %.2fx vs serial scheme sum",
+			fmt.Sprintf("grouped(%d)", len(grouped.Schemes)), grouped.NsPerOp, grouped.SimKIPS, grouped.Speedup)
+		if comparable && old.Grouped != nil {
+			line += fmt.Sprintf("  [baseline file: %.2fx]", old.Grouped.Speedup)
 		}
 		fmt.Println(line)
 	}

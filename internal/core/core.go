@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"twig/internal/btb"
 	"twig/internal/exec"
@@ -207,44 +208,171 @@ func (a *Artifacts) RunOptimized(optimized *program.Program, input int, opts Opt
 	return a.RunProgram(optimized, input, opts, prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false))
 }
 
+// SchemeNames lists the named schemes RunScheme and RunSchemes accept,
+// in the conventional reporting order.
+var SchemeNames = []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
+
+// schemeConfig returns the machine configuration and program variant
+// for one named scheme — the single source of truth shared by the
+// scalar wrappers (RunBaseline, RunTwig, …) and grouped RunSchemes, so
+// the two execution paths cannot drift apart.
+func (a *Artifacts) schemeConfig(name string, opts Options) (pipeline.Config, *program.Program, error) {
+	cfg := machineConfig(opts, a.Params)
+	switch name {
+	case "baseline":
+		cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
+		return cfg, a.Program, nil
+	case "ideal":
+		cfg.Scheme = prefetcher.NewIdeal()
+		return cfg, a.Program, nil
+	case "twig":
+		cfg.Scheme = prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false)
+		return cfg, a.Optimized, nil
+	case "shotgun":
+		// Shotgun's published configuration includes its 1536-entry RAS.
+		cfg.RASEntries = 1536
+		cfg.Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+		return cfg, a.Program, nil
+	case "confluence":
+		ccfg := prefetcher.DefaultConfluenceConfig()
+		ccfg.BTB = opts.BTB
+		cfg.Scheme = prefetcher.NewConfluence(ccfg)
+		return cfg, a.Program, nil
+	}
+	return pipeline.Config{}, nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// RunScheme simulates one named scheme (see SchemeNames).
+func (a *Artifacts) RunScheme(name string, input int, opts Options) (*pipeline.Result, error) {
+	cfg, prog, err := a.schemeConfig(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.Run(prog, a.Params.InputPhase(input, EvalPhase), cfg)
+}
+
+// Groupable reports whether opts permits simulating several schemes
+// concurrently over one shared stream. Hooks and telemetry sinks are
+// per-run observers that grouped execution would invoke from several
+// goroutines at once, so any observer forces the sequential fallback;
+// Telemetry.EpochLength alone is safe (a nil Registry gives each run a
+// private one, see pipeline.Telemetry).
+func Groupable(opts Options) bool {
+	h := opts.Pipeline.Hooks
+	if h.OnTaken != nil || h.OnBTBMiss != nil || h.OnBlockEnter != nil ||
+		h.OnResteer != nil || h.OnPrefetch != nil || h.OnICacheMiss != nil ||
+		h.OnEpoch != nil {
+		return false
+	}
+	return opts.Telemetry.Registry == nil && opts.Telemetry.Tracer == nil
+}
+
+// RunSchemes simulates the named schemes for one input, sharing work
+// where it can: schemes that simulate the same program variant (twig
+// runs the optimized binary, everything else the unmodified one) form
+// a group fed by a single broadcast stream via pipeline.RunGroup, and
+// the groups themselves run concurrently. Results are keyed by scheme
+// name and are bit-identical to individual RunScheme calls. When opts
+// carries observers (Groupable is false) every scheme runs
+// sequentially through RunScheme instead.
+func (a *Artifacts) RunSchemes(names []string, input int, opts Options) (map[string]*pipeline.Result, error) {
+	out := make(map[string]*pipeline.Result, len(names))
+	uniq := make([]string, 0, len(names))
+	for _, n := range names {
+		if _, _, err := a.schemeConfig(n, opts); err != nil {
+			return nil, err
+		}
+		if _, dup := out[n]; !dup {
+			out[n] = nil
+			uniq = append(uniq, n)
+		}
+	}
+	if !Groupable(opts) {
+		for _, n := range uniq {
+			res, err := a.RunScheme(n, input, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[n] = res
+		}
+		return out, nil
+	}
+
+	type group struct {
+		prog  *program.Program
+		names []string
+		cfgs  []pipeline.Config
+	}
+	var groups []*group
+	byProg := make(map[*program.Program]*group)
+	for _, n := range uniq {
+		cfg, prog, _ := a.schemeConfig(n, opts)
+		g := byProg[prog]
+		if g == nil {
+			g = &group{prog: prog}
+			byProg[prog] = g
+			groups = append(groups, g)
+		}
+		g.names = append(g.names, n)
+		g.cfgs = append(g.cfgs, cfg)
+	}
+
+	in := a.Params.InputPhase(input, EvalPhase)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			res, err := pipeline.RunGroup(g.prog, in, g.cfgs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for i, n := range g.names {
+				out[n] = res[i]
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
 // RunBaseline simulates the unmodified binary with a plain BTB.
 func (a *Artifacts) RunBaseline(input int, opts Options) (*pipeline.Result, error) {
-	cfg := machineConfig(opts, a.Params)
-	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
-	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+	return a.RunScheme("baseline", input, opts)
 }
 
 // RunIdealBTB simulates the unmodified binary with an ideal BTB.
 func (a *Artifacts) RunIdealBTB(input int, opts Options) (*pipeline.Result, error) {
-	cfg := machineConfig(opts, a.Params)
-	cfg.Scheme = prefetcher.NewIdeal()
-	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+	return a.RunScheme("ideal", input, opts)
 }
 
 // RunTwig simulates the optimized binary: baseline BTB plus the
 // architectural prefetch buffer fed by the injected instructions.
 func (a *Artifacts) RunTwig(input int, opts Options) (*pipeline.Result, error) {
-	cfg := machineConfig(opts, a.Params)
-	cfg.Scheme = prefetcher.NewBaseline(opts.BTB, opts.PrefetchBuffer, false)
-	return pipeline.Run(a.Optimized, a.Params.InputPhase(input, EvalPhase), cfg)
+	return a.RunScheme("twig", input, opts)
 }
 
 // RunShotgun simulates the unmodified binary under Shotgun (with its
 // published 1536-entry return address stack).
 func (a *Artifacts) RunShotgun(input int, opts Options) (*pipeline.Result, error) {
-	cfg := machineConfig(opts, a.Params)
-	cfg.RASEntries = 1536
-	cfg.Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
-	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+	return a.RunScheme("shotgun", input, opts)
 }
 
 // RunConfluence simulates the unmodified binary under Confluence.
 func (a *Artifacts) RunConfluence(input int, opts Options) (*pipeline.Result, error) {
-	cfg := machineConfig(opts, a.Params)
-	ccfg := prefetcher.DefaultConfluenceConfig()
-	ccfg.BTB = opts.BTB
-	cfg.Scheme = prefetcher.NewConfluence(ccfg)
-	return pipeline.Run(a.Program, a.Params.InputPhase(input, EvalPhase), cfg)
+	return a.RunScheme("confluence", input, opts)
 }
 
 // RunWithScheme simulates the unmodified binary under an arbitrary

@@ -1,0 +1,98 @@
+package exec
+
+import "testing"
+
+// raggedSizes cycles through batch lengths that hit the interesting
+// shapes: single steps, tiny odd runs, and slabs larger than most
+// basic blocks.
+var raggedSizes = []int{1, 7, 2048, 3, 64, 1, 255, 512}
+
+// TestBatchMatchesScalar drives two executors over the same program
+// and input, one step at a time and one ragged batch at a time: the
+// streams must agree step for step across every batch boundary.
+func TestBatchMatchesScalar(t *testing.T) {
+	p := tinyProgram(t)
+	in := Input{Seed: 42, RequestMix: []float64{1, 1}}
+	scalar, _ := New(p, in)
+	batched, _ := New(p, in)
+
+	buf := make([]Step, 2048)
+	var want Step
+	pos, total := 0, 0
+	for total < 200000 {
+		n := batched.NextBatch(buf[:raggedSizes[pos%len(raggedSizes)]])
+		pos++
+		for i := 0; i < n; i++ {
+			scalar.Next(&want)
+			if buf[i] != want {
+				t.Fatalf("step %d (batch %d, offset %d): batch %+v, scalar %+v",
+					total+i, pos-1, i, buf[i], want)
+			}
+		}
+		total += n
+	}
+	if scalar.Steps() != batched.Steps() {
+		t.Fatalf("step counters diverge: scalar %d, batched %d", scalar.Steps(), batched.Steps())
+	}
+}
+
+// TestFillFallsBackToScalar covers Fill's generic path: a Source that
+// does not implement BatchSource is driven by repeated Next calls.
+func TestFillFallsBackToScalar(t *testing.T) {
+	p := tinyProgram(t)
+	in := Input{Seed: 5, RequestMix: []float64{1, 1}}
+	e, _ := New(p, in)
+	ref, _ := New(p, in)
+
+	// Hide the BatchSource implementation behind a wrapper.
+	var src Source = scalarOnly{e}
+	buf := make([]Step, 100)
+	if n := Fill(src, buf); n != len(buf) {
+		t.Fatalf("Fill returned %d, want %d", n, len(buf))
+	}
+	var want Step
+	for i := range buf {
+		ref.Next(&want)
+		if buf[i] != want {
+			t.Fatalf("step %d: %+v, want %+v", i, buf[i], want)
+		}
+	}
+}
+
+type scalarOnly struct{ e *Executor }
+
+func (s scalarOnly) Next(st *Step) { s.e.Next(st) }
+
+// FuzzBatchEquivalence mutates the batch-size schedule (including
+// size-1 and ragged final batches) and the executor seed: the batched
+// stream must stay identical to the scalar stream for every schedule.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3})
+	f.Add(uint64(42), []byte{255, 0, 1, 128})
+	f.Add(uint64(7), []byte{1})
+	f.Fuzz(func(t *testing.T, seed uint64, sizes []byte) {
+		if len(sizes) == 0 {
+			return
+		}
+		p := tinyProgram(t)
+		in := Input{Seed: seed, RequestMix: []float64{1, 1}}
+		scalar, _ := New(p, in)
+		batched, _ := New(p, in)
+		buf := make([]Step, 256)
+		var want Step
+		total := 0
+		for _, s := range sizes {
+			n := batched.NextBatch(buf[:int(s%255)+1])
+			for i := 0; i < n; i++ {
+				scalar.Next(&want)
+				if buf[i] != want {
+					t.Fatalf("step %d: batch %+v, scalar %+v", total+i, buf[i], want)
+				}
+			}
+			total += n
+			if total > 4096 {
+				return
+			}
+		}
+	})
+}

@@ -10,6 +10,11 @@
 // brcoalesce instructions do not consume randomness, so an optimized
 // binary executes the exact same program path as its baseline — the
 // property that makes speedup comparisons meaningful.
+//
+// Steps are delivered either one at a time (Source.Next) or a slab at a
+// time (BatchSource.NextBatch, via the Fill helper); the two paths
+// produce identical streams, so consumers choose purely on dispatch
+// cost.
 package exec
 
 import (
@@ -48,9 +53,43 @@ type Step struct {
 // Source produces a dynamic instruction stream one step at a time. The
 // Executor is the execution-driven source; package trace provides a
 // trace-driven one (replaying a recorded stream), mirroring the paper's
-// two Scarab modes.
+// two Scarab modes. Sources that can deliver steps a slab at a time
+// additionally implement BatchSource; consumers should pull through
+// Fill, which uses the batch path when available.
 type Source interface {
 	Next(st *Step)
+}
+
+// BatchSource is a Source that can also fill a whole slab of steps per
+// call, amortizing per-step dispatch. The contract:
+//
+//   - NextBatch(dst) writes the next steps of the stream into dst and
+//     returns how many it wrote. The sequence of steps delivered is
+//     exactly the sequence an equivalent series of Next calls would
+//     deliver (the differential tests in batch_test.go pin this).
+//   - dst is a caller-owned slab, reused across refills; the source
+//     must not retain it (or any sub-slice) after returning.
+//   - A short count (including 0) means the stream cannot currently
+//     make progress — only finite or cancellable sources (e.g. a
+//     stepcast consumer after Stop) return short; the Executor and
+//     trace.Reader always fill dst completely, matching their
+//     fail-soft scalar semantics.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Step) int
+}
+
+// Fill fills dst from src — through NextBatch when src implements
+// BatchSource, step-by-step Next calls otherwise — and returns the
+// number of steps written.
+func Fill(src Source, dst []Step) int {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.NextBatch(dst)
+	}
+	for i := range dst {
+		src.Next(&dst[i])
+	}
+	return len(dst)
 }
 
 // Executor generates the dynamic stream.
@@ -132,6 +171,61 @@ func (e *Executor) Next(st *Step) {
 	e.cur = next
 	st.NextIdx = next
 	e.steps++
+}
+
+// NextBatch executes len(dst) instructions, filling dst, and returns
+// len(dst). It is the batched equivalent of Next — same decisions, same
+// PRNG draws, same stack effects — with the interpreter state held in
+// locals across the whole slab instead of reloaded per step.
+func (e *Executor) NextBatch(dst []Step) int {
+	p := e.p
+	cur := e.cur
+	for i := range dst {
+		st := &dst[i]
+		in := &p.Instrs[cur]
+		st.Idx = cur
+		st.Taken = false
+		next := cur + 1
+
+		switch in.Kind {
+		case isa.KindCondBranch:
+			if e.rnd.Bool(in.TakenProb()) {
+				next = p.IndexOf(in.Target)
+				st.Taken = true
+			}
+		case isa.KindJump:
+			next = p.IndexOf(in.Target)
+			st.Taken = true
+		case isa.KindCall:
+			e.stack = append(e.stack, cur+1)
+			next = p.IndexOf(in.Target)
+			st.Taken = true
+		case isa.KindIndirectCall:
+			e.stack = append(e.stack, cur+1)
+			next = e.pickIndirect(in)
+			st.Taken = true
+		case isa.KindIndirectJump:
+			next = e.pickIndirect(in)
+			st.Taken = true
+		case isa.KindReturn:
+			if n := len(e.stack); n > 0 {
+				next = e.stack[n-1]
+				e.stack = e.stack[:n-1]
+			} else {
+				next = p.Funcs[0].Entry
+			}
+			st.Taken = true
+		}
+
+		if int(next) >= len(p.Instrs) {
+			next = p.Funcs[0].Entry
+		}
+		cur = next
+		st.NextIdx = next
+	}
+	e.cur = cur
+	e.steps += int64(len(dst))
+	return len(dst)
 }
 
 func (e *Executor) pickIndirect(in *program.Instr) int32 {

@@ -208,6 +208,71 @@ func (c *Context) Confluence(app workload.App, input int) (*pipeline.Result, err
 	})
 }
 
+// schemeKeys maps core scheme names to the memo-key prefixes the
+// single accessors historically use, so grouped and individual runs
+// address the same memo entries and cache envelopes.
+var schemeKeys = map[string]string{
+	"baseline":   "base",
+	"ideal":      "ideal",
+	"twig":       "twig",
+	"shotgun":    "shotgun",
+	"confluence": "confluence",
+}
+
+// Schemes returns the cached runs of the named schemes (core.SchemeNames)
+// for (app, input), keyed by scheme name. Members missing from the
+// cache are computed in one shared-stream pass (core.RunSchemes over a
+// stepcast broadcast), with already-cached members peeled out of the
+// group first; payloads and cache entries are identical to the single
+// accessors (Baseline, Twig, …), so either path warms the other.
+func (c *Context) Schemes(app workload.App, input int, names ...string) (map[string]*pipeline.Result, error) {
+	if len(names) == 0 {
+		return map[string]*pipeline.Result{}, nil
+	}
+	members := make([]runner.Member, len(names))
+	byID := make(map[string]string, len(names))
+	for i, n := range names {
+		prefix, ok := schemeKeys[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scheme %q", n)
+		}
+		key := fmt.Sprintf("%s/%s/%d", prefix, app, input)
+		members[i] = runner.Member{
+			ID:    "run/" + key,
+			Kind:  runner.KindSim,
+			Hash:  c.simHash(key),
+			Codec: runner.ResultCodec{},
+		}
+		byID[members[i].ID] = n
+	}
+	art := runner.ArtifactsJob(app, 0, c.Opts, "")
+	vals, err := c.run.GroupResult(c.ctx, members, []*runner.Job{art},
+		func(_ stdctx.Context, deps []any, need []runner.Member) (map[string]any, error) {
+			a := deps[0].(*core.Artifacts)
+			run := make([]string, len(need))
+			for i, m := range need {
+				run[i] = byID[m.ID]
+			}
+			res, err := a.RunSchemes(run, input, c.Opts)
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[string]any, len(need))
+			for _, m := range need {
+				out[m.ID] = res[byID[m.ID]]
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: schemes %s/%d: %w", app, input, err)
+	}
+	out := make(map[string]*pipeline.Result, len(names))
+	for id, v := range vals {
+		out[byID[id]] = v.(*pipeline.Result)
+	}
+	return out, nil
+}
+
 // Experiment is one regenerable table or figure.
 type Experiment struct {
 	// ID is the registry key ("fig16", "tab3", "ablation-sites").

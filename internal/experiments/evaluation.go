@@ -22,26 +22,12 @@ func init() {
 			t := metrics.NewTable("app", "ideal %", "32K BTB %", "confluence %", "shotgun %", "twig %")
 			cols := make([][]float64, 5)
 			for _, app := range c.Apps {
-				base, err := c.Baseline(app, 0)
+				runs, err := c.Schemes(app, 0, "baseline", "ideal", "twig", "shotgun", "confluence")
 				if err != nil {
 					return err
 				}
-				ideal, err := c.IdealBTB(app, 0)
-				if err != nil {
-					return err
-				}
-				tw, err := c.Twig(app, 0)
-				if err != nil {
-					return err
-				}
-				sh, err := c.Shotgun(app, 0)
-				if err != nil {
-					return err
-				}
-				cf, err := c.Confluence(app, 0)
-				if err != nil {
-					return err
-				}
+				base, ideal := runs["baseline"], runs["ideal"]
+				tw, sh, cf := runs["twig"], runs["shotgun"], runs["confluence"]
 				big32, err := c.bigBTB(app, 32768)
 				if err != nil {
 					return err
@@ -74,22 +60,11 @@ func init() {
 			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
 			var cs, ss, ts []float64
 			for _, app := range c.Apps {
-				base, err := c.Baseline(app, 0)
+				runs, err := c.Schemes(app, 0, "baseline", "twig", "shotgun", "confluence")
 				if err != nil {
 					return err
 				}
-				tw, err := c.Twig(app, 0)
-				if err != nil {
-					return err
-				}
-				sh, err := c.Shotgun(app, 0)
-				if err != nil {
-					return err
-				}
-				cf, err := c.Confluence(app, 0)
-				if err != nil {
-					return err
-				}
+				base, tw, sh, cf := runs["baseline"], runs["twig"], runs["shotgun"], runs["confluence"]
 				bm := base.BTB.DirectMisses()
 				vc := metrics.Coverage(bm, cf.BTB.DirectMisses())
 				vs := metrics.Coverage(bm, sh.BTB.DirectMisses())
@@ -159,18 +134,11 @@ func init() {
 			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
 			var cs, ss, ts []float64
 			for _, app := range c.Apps {
-				tw, err := c.Twig(app, 0)
+				runs, err := c.Schemes(app, 0, "twig", "shotgun", "confluence")
 				if err != nil {
 					return err
 				}
-				sh, err := c.Shotgun(app, 0)
-				if err != nil {
-					return err
-				}
-				cf, err := c.Confluence(app, 0)
-				if err != nil {
-					return err
-				}
+				tw, sh, cf := runs["twig"], runs["shotgun"], runs["confluence"]
 				vc := cf.Prefetch.Accuracy() * 100
 				vs := sh.Prefetch.Accuracy() * 100
 				vt := tw.Prefetch.Accuracy() * 100
@@ -192,21 +160,15 @@ func init() {
 			for _, app := range c.Apps {
 				var same, cross, shot, conf []float64
 				for input := 1; input <= 3; input++ {
-					base, err := c.Baseline(app, input)
+					runs, err := c.Schemes(app, input, "baseline", "ideal", "twig", "shotgun", "confluence")
 					if err != nil {
 						return err
 					}
-					ideal, err := c.IdealBTB(app, input)
-					if err != nil {
-						return err
-					}
+					base, ideal := runs["baseline"], runs["ideal"]
 					idealSp := metrics.Speedup(base.IPC(), ideal.IPC())
 
 					// Twig trained on input #0, tested on this input.
-					tw, err := c.Twig(app, input)
-					if err != nil {
-						return err
-					}
+					tw := runs["twig"]
 					cross = append(cross, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), tw.IPC()), idealSp))
 
 					// Twig trained and tested on the same input.
@@ -222,15 +184,8 @@ func init() {
 					}
 					same = append(same, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), twSame.IPC()), idealSp))
 
-					sh, err := c.Shotgun(app, input)
-					if err != nil {
-						return err
-					}
+					sh, cf := runs["shotgun"], runs["confluence"]
 					shot = append(shot, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), sh.IPC()), idealSp))
-					cf, err := c.Confluence(app, input)
-					if err != nil {
-						return err
-					}
 					conf = append(conf, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), cf.IPC()), idealSp))
 				}
 				t.Row(string(app),

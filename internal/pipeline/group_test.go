@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"twig/internal/btb"
+	"twig/internal/exec"
+	"twig/internal/prefetcher"
+)
+
+// TestRunGroupBitIdentical is the grouped-execution determinism
+// anchor: simulating three schemes over one broadcast stream must
+// produce results deeply equal to three private scalar runs.
+func TestRunGroupBitIdentical(t *testing.T) {
+	p := simpleProgram(t)
+	in := exec.Input{Seed: 11}
+
+	mk := func() []Config {
+		base := testConfig(60_000)
+		base.Warmup = 10_000
+		cfgs := make([]Config, 3)
+		for i := range cfgs {
+			cfgs[i] = base
+		}
+		cfgs[0].Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+		cfgs[1].Scheme = prefetcher.NewIdeal()
+		cfgs[2].Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+		return cfgs
+	}
+
+	grouped, err := RunGroup(p, in, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range mk() {
+		solo, err := Run(p, in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(grouped[i], solo) {
+			t.Fatalf("grouped result %d diverged from scalar run:\n grouped: %+v\n solo:    %+v", i, grouped[i], solo)
+		}
+	}
+}
+
+// TestRunGroupSingleton: a one-element group takes the direct path and
+// still matches a plain run.
+func TestRunGroupSingleton(t *testing.T) {
+	p := simpleProgram(t)
+	cfg := testConfig(20_000)
+	cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	grouped, err := RunGroup(p, exec.Input{Seed: 12}, []Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(20_000)
+	cfg2.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	solo, err := Run(p, exec.Input{Seed: 12}, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grouped[0], solo) {
+		t.Fatal("singleton group diverged from scalar run")
+	}
+}
+
+// TestRunGroupMismatchedWindows: members sharing one stream must agree
+// on its length.
+func TestRunGroupMismatchedWindows(t *testing.T) {
+	p := simpleProgram(t)
+	a := testConfig(10_000)
+	b := testConfig(20_000)
+	if _, err := RunGroup(p, exec.Input{Seed: 13}, []Config{a, b}); err == nil {
+		t.Fatal("mismatched MaxInstructions accepted")
+	}
+	c := testConfig(10_000)
+	c.Warmup = 5_000
+	if _, err := RunGroup(p, exec.Input{Seed: 13}, []Config{a, c}); err == nil {
+		t.Fatal("mismatched Warmup accepted")
+	}
+}
+
+// TestRunGroupEmpty: no members, no work, no error.
+func TestRunGroupEmpty(t *testing.T) {
+	res, err := RunGroup(simpleProgram(t), exec.Input{Seed: 14}, nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty group: res=%v err=%v", res, err)
+	}
+}

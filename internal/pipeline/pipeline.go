@@ -271,8 +271,20 @@ func Run(p *program.Program, in exec.Input, cfg Config) (*Result, error) {
 	return RunSource(p, ex, cfg)
 }
 
-// RunSource simulates from an arbitrary step source — an executor or a
-// trace reader. The source must yield a stream consistent with p.
+// batchSlab is the step-slab size the consume loop refills through
+// exec.Fill. Each refill asks for min(batchSlab, instructions left), so
+// a run never pulls steps it will not consume — the source ends in the
+// same state a scalar Next loop would leave it in.
+const batchSlab = 2048
+
+// RunSource simulates from an arbitrary step source — an executor, a
+// trace reader, or a stepcast consumer. The source must yield a stream
+// consistent with p. Steps are drained a slab at a time through
+// exec.Fill (sources implementing exec.BatchSource skip per-step
+// interface dispatch); the slab is owned by the run and reused across
+// refills. A source that returns a short refill before the run's
+// instruction budget is met — only possible for finite or cancelled
+// sources, never the executor or trace reader — is an error.
 func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error) {
 	if cfg.Width <= 0 || cfg.FTQSize <= 0 || cfg.ROBSize <= 0 || cfg.MaxInstructions <= 0 {
 		return nil, fmt.Errorf("pipeline: non-positive structural parameter in config")
@@ -298,11 +310,14 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 		hier:   cache.NewHierarchy(cfg.Hierarchy),
 		ftq:    make([]float64, cfg.FTQSize),
 		rob:    make([]float64, cfg.ROBSize),
+		batch:  make([]exec.Step, batchSlab),
 	}
 	sim.inflight.Grow(64)
 	scheme.Attach(sim)
 	sim.setupTelemetry()
-	sim.run()
+	if err := sim.run(); err != nil {
+		return nil, err
+	}
 	if t := cfg.Telemetry.Tracer; t != nil {
 		if err := t.Flush(); err != nil {
 			return nil, fmt.Errorf("pipeline: flushing event trace: %w", err)
@@ -395,6 +410,12 @@ type simulator struct {
 	rob             []float64
 	robHead, robLen int
 
+	// batch is the step slab the consume loop drains; batchPos/batchLen
+	// delimit the unconsumed remainder. Refilled via exec.Fill, sized so
+	// the source is never pulled past the run's instruction budget.
+	batch              []exec.Step
+	batchPos, batchLen int
+
 	lastLine uint64
 
 	// tel is the run's telemetry state (nil when disabled); trace is
@@ -425,11 +446,10 @@ func (s *simulator) PrefetchLine(line uint64, cycle float64) {
 // Program implements prefetcher.Frontend.
 func (s *simulator) Program() *program.Program { return s.p }
 
-func (s *simulator) run() {
+func (s *simulator) run() error {
 	cfg := &s.cfg
 	p := s.p
 	slot := 1 / cfg.Width
-	var st exec.Step
 	s.lastLine = ^uint64(0)
 	s.pendIssue = -1
 
@@ -460,7 +480,23 @@ func (s *simulator) run() {
 			s.warmCycles = s.retireC
 			s.telBegin()
 		}
-		s.src.Next(&st)
+		if s.batchPos == s.batchLen {
+			// Refill the slab. Ask for exactly the instructions still
+			// owed: original instructions increment res.Original one per
+			// step at most, so a slab of (total - Original) steps can
+			// never outlive the loop — every step pulled is consumed.
+			want := total - s.res.Original
+			if want > int64(len(s.batch)) {
+				want = int64(len(s.batch))
+			}
+			n := exec.Fill(s.src, s.batch[:want])
+			if n <= 0 {
+				return fmt.Errorf("pipeline: step source ended after %d of %d instructions", s.res.Original, total)
+			}
+			s.batchPos, s.batchLen = 0, n
+		}
+		st := &s.batch[s.batchPos]
+		s.batchPos++
 		in := &p.Instrs[st.Idx]
 		injected := in.ID >= p.OriginalInstrs
 		s.res.Instructions++
@@ -834,6 +870,7 @@ func (s *simulator) run() {
 			s.telTick(&hooks, mi)
 		}
 	}
+	return nil
 }
 
 func (s *simulator) flushFTQ() {

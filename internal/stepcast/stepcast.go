@@ -1,0 +1,276 @@
+// Package stepcast broadcasts one dynamic instruction stream to many
+// concurrent simulators: a single producer goroutine drains an
+// exec.Source into a fixed ring of step batches, and per-consumer
+// cursors let N scheme simulations run on their own goroutines while
+// observing the exact same stream. This is the paper's trace-mode
+// amortization applied in memory — stream generation (interpreting the
+// program, or decoding a trace) is paid once per (app, input) point
+// instead of once per scheme, and the schemes overlap across cores.
+//
+// # Protocol
+//
+// The ring holds RingSlots batches of BatchLen steps each. The producer
+// fills the slot at head%RingSlots outside the lock, then publishes it
+// by incrementing head under the lock; it blocks whenever the slowest
+// active consumer is a full ring behind (head − min cursor ≥ RingSlots),
+// so memory stays bounded by RingSlots×BatchLen regardless of consumer
+// skew. A consumer reads published slots outside the lock — safe
+// because the producer cannot reuse a slot until every active cursor
+// has moved past it, and both cursor advances and head publication
+// happen under the same mutex (each observation of head or a cursor
+// therefore happens-after the writes it licenses; `go test -race`
+// pins this).
+//
+// Determinism is by construction: every consumer copies out the same
+// published batches in the same order, so a grouped run feeds each
+// simulator a stream byte-identical to a private scalar run.
+//
+// # Lifecycle
+//
+// Subscribe all consumers, then Start the producer. A consumer that is
+// finished (normally or early) must Close so the backpressure
+// condition stops waiting on its cursor; when the last consumer
+// closes — or Stop is called — the producer exits and Wait returns.
+// The producer may pull a partial batch beyond what consumers end up
+// reading, so give the broadcaster a dedicated source whose post-run
+// state nothing else inspects.
+package stepcast
+
+import (
+	"sync"
+
+	"twig/internal/exec"
+)
+
+// Options sizes a Broadcaster. Zero values take defaults.
+type Options struct {
+	// BatchLen is the number of steps per ring slot (default 2048,
+	// matching the pipeline's refill slab).
+	BatchLen int
+	// RingSlots is the number of batches in flight between the producer
+	// and the slowest consumer (default 8).
+	RingSlots int
+}
+
+// Broadcaster fans one step stream out to several consumers.
+type Broadcaster struct {
+	mu         sync.Mutex
+	canProduce sync.Cond // producer waits: ring full or nothing to do
+	canConsume sync.Cond // consumers wait: cursor caught up with head
+
+	slots [][]exec.Step // ring storage, each slot cap BatchLen
+	lens  []int         // published length of each slot
+	head  int64         // slots published so far; slot i lives at i%len(slots)
+
+	consumers []*Consumer
+	started   bool
+	stopped   bool // producer told to exit (Stop, or all consumers closed)
+	prodDone  bool // producer goroutine exited
+	done      chan struct{}
+}
+
+// New returns an idle Broadcaster. Subscribe consumers, then Start it.
+func New(opts Options) *Broadcaster {
+	if opts.BatchLen <= 0 {
+		opts.BatchLen = 2048
+	}
+	if opts.RingSlots <= 0 {
+		opts.RingSlots = 8
+	}
+	b := &Broadcaster{
+		slots: make([][]exec.Step, opts.RingSlots),
+		lens:  make([]int, opts.RingSlots),
+		done:  make(chan struct{}),
+	}
+	for i := range b.slots {
+		b.slots[i] = make([]exec.Step, opts.BatchLen)
+	}
+	b.canProduce.L = &b.mu
+	b.canConsume.L = &b.mu
+	return b
+}
+
+// Subscribe registers a consumer. It must be called before Start —
+// a consumer added later would miss already-recycled batches, silently
+// breaking the identical-stream guarantee, so Subscribe panics instead.
+func (b *Broadcaster) Subscribe() *Consumer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.started {
+		panic("stepcast: Subscribe after Start")
+	}
+	c := &Consumer{b: b}
+	b.consumers = append(b.consumers, c)
+	return c
+}
+
+// Start launches the producer goroutine draining src. The broadcaster
+// owns src from here on; src need not implement exec.BatchSource
+// (exec.Fill falls back to scalar pulls), but batching is the point.
+func (b *Broadcaster) Start(src exec.Source) {
+	b.mu.Lock()
+	if b.started {
+		b.mu.Unlock()
+		panic("stepcast: Start twice")
+	}
+	b.started = true
+	b.mu.Unlock()
+	go b.produce(src)
+}
+
+// Stop asks the producer to exit without waiting for consumers; any
+// already-published batches remain readable, after which consumers see
+// a short (0) refill. Safe to call more than once and concurrently
+// with consumption.
+func (b *Broadcaster) Stop() {
+	b.mu.Lock()
+	b.stopped = true
+	b.canProduce.Broadcast()
+	b.canConsume.Broadcast()
+	b.mu.Unlock()
+}
+
+// Wait blocks until the producer goroutine has exited (it exits when
+// all consumers have closed, when Stop is called, or when the source
+// runs short). Start must have been called.
+func (b *Broadcaster) Wait() { <-b.done }
+
+func (b *Broadcaster) produce(src exec.Source) {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		for !b.stopped {
+			min, active := b.minSeqLocked()
+			if !active {
+				// Every consumer closed: nothing will ever read again.
+				b.stopped = true
+				break
+			}
+			if b.head-min < int64(len(b.slots)) {
+				break
+			}
+			b.canProduce.Wait()
+		}
+		if b.stopped {
+			b.prodDone = true
+			b.canConsume.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		slot := b.slots[b.head%int64(len(b.slots))]
+		b.mu.Unlock()
+
+		// Fill outside the lock: no cursor can reach this slot until
+		// head is published below.
+		n := exec.Fill(src, slot)
+
+		b.mu.Lock()
+		if n > 0 {
+			b.lens[b.head%int64(len(b.slots))] = n
+			b.head++
+		}
+		if n < len(slot) {
+			// The source itself ran short — finite stream or cancelled
+			// upstream. Publish what arrived and shut down.
+			b.stopped = true
+			b.prodDone = true
+		}
+		b.canConsume.Broadcast()
+		b.mu.Unlock()
+		if n < len(slot) {
+			return
+		}
+	}
+}
+
+// minSeqLocked reports the slowest open cursor; active is false when
+// every consumer has closed. Callers hold b.mu.
+func (b *Broadcaster) minSeqLocked() (min int64, active bool) {
+	min = int64(^uint64(0) >> 1)
+	for _, c := range b.consumers {
+		if c.closed {
+			continue
+		}
+		active = true
+		if c.seq < min {
+			min = c.seq
+		}
+	}
+	return min, active
+}
+
+// Consumer is one subscriber's view of the stream. It implements
+// exec.Source and exec.BatchSource, so it plugs directly into
+// pipeline.RunSource. A Consumer is owned by one goroutine; only Close
+// may race with the broadcaster's other parties.
+type Consumer struct {
+	b   *Broadcaster
+	seq int64 // next ring sequence to read (guarded by b.mu)
+	off int   // read offset within slot seq (owner-goroutine only)
+
+	closed bool // guarded by b.mu
+}
+
+// NextBatch implements exec.BatchSource: it copies the next steps of
+// the broadcast stream into dst and returns how many it wrote. A short
+// count (including 0) means the stream ended — the producer stopped
+// and all published batches are drained, or Close was called.
+func (c *Consumer) NextBatch(dst []exec.Step) int {
+	b := c.b
+	filled := 0
+	for filled < len(dst) {
+		b.mu.Lock()
+		if c.closed {
+			b.mu.Unlock()
+			return filled
+		}
+		for c.seq == b.head && !b.prodDone && !b.stopped {
+			b.canConsume.Wait()
+		}
+		if c.seq == b.head {
+			b.mu.Unlock()
+			return filled
+		}
+		n := b.lens[c.seq%int64(len(b.slots))]
+		b.mu.Unlock()
+
+		// Read the slot outside the lock: the producer cannot recycle
+		// it until this cursor advances past it (checked under b.mu).
+		slot := b.slots[c.seq%int64(len(b.slots))][:n]
+		k := copy(dst[filled:], slot[c.off:])
+		filled += k
+		c.off += k
+		if c.off == n {
+			c.off = 0
+			b.mu.Lock()
+			c.seq++
+			b.canProduce.Signal()
+			b.mu.Unlock()
+		}
+	}
+	return filled
+}
+
+// Next implements exec.Source one step at a time. After the stream
+// ends it yields the zero Step; batch consumers (exec.Fill) see the
+// short count instead and should be preferred.
+func (c *Consumer) Next(st *exec.Step) {
+	var one [1]exec.Step
+	c.NextBatch(one[:])
+	*st = one[0]
+}
+
+// Close detaches the consumer: its cursor stops gating the producer's
+// backpressure, and when the last consumer closes the producer shuts
+// down. Every subscriber must Close — a finished-but-open consumer
+// would stall the ring and leak the producer goroutine. Idempotent.
+func (c *Consumer) Close() {
+	b := c.b
+	b.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		b.canProduce.Broadcast()
+		b.canConsume.Broadcast()
+	}
+	b.mu.Unlock()
+}

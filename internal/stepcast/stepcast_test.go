@@ -1,0 +1,206 @@
+package stepcast
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"twig/internal/exec"
+)
+
+// countSource yields a deterministic synthetic stream (step i jumps to
+// i+1, every third step taken) through the scalar interface only, so
+// the broadcaster's exec.Fill fallback path is exercised.
+type countSource struct{ n int32 }
+
+func (s *countSource) Next(st *exec.Step) {
+	st.Idx = s.n
+	st.NextIdx = s.n + 1
+	st.Taken = s.n%3 == 0
+	s.n++
+}
+
+// batchCountSource is countSource through the batch interface, with an
+// optional cap after which it runs short (a finite stream).
+type batchCountSource struct {
+	n     int32
+	limit int32 // 0 = infinite
+}
+
+func (s *batchCountSource) Next(st *exec.Step) {
+	st.Idx = s.n
+	st.NextIdx = s.n + 1
+	st.Taken = s.n%3 == 0
+	s.n++
+}
+
+func (s *batchCountSource) NextBatch(dst []exec.Step) int {
+	for i := range dst {
+		if s.limit > 0 && s.n >= s.limit {
+			return i
+		}
+		s.Next(&dst[i])
+	}
+	return len(dst)
+}
+
+// drain consumes total steps from c in pulls of pullSize, optionally
+// sleeping every few batches to be a deliberately slow consumer, and
+// returns the observed stream.
+func drain(c *Consumer, total, pullSize int, slow bool) []exec.Step {
+	out := make([]exec.Step, 0, total)
+	buf := make([]exec.Step, pullSize)
+	batches := 0
+	for len(out) < total {
+		want := total - len(out)
+		if want > pullSize {
+			want = pullSize
+		}
+		n := c.NextBatch(buf[:want])
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+		if slow {
+			if batches++; batches%4 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+	return out
+}
+
+// TestBroadcastIdenticalStreams is the load-bearing -race test: three
+// consumers with very different speeds and pull granularities (one of
+// them a deliberate laggard, one exiting early) must each observe a
+// prefix of the exact same stream the source generates.
+func TestBroadcastIdenticalStreams(t *testing.T) {
+	const total = 50_000
+
+	// Reference stream from an identical private source.
+	ref := make([]exec.Step, total)
+	(&batchCountSource{}).NextBatch(ref)
+
+	b := New(Options{BatchLen: 64, RingSlots: 4})
+	fast := b.Subscribe()
+	slowC := b.Subscribe()
+	early := b.Subscribe()
+	b.Start(&countSource{})
+
+	var wg sync.WaitGroup
+	var fastGot, slowGot, earlyGot []exec.Step
+	wg.Add(3)
+	go func() { defer wg.Done(); defer fast.Close(); fastGot = drain(fast, total, 2048, false) }()
+	go func() { defer wg.Done(); defer slowC.Close(); slowGot = drain(slowC, total, 7, true) }()
+	go func() { defer wg.Done(); defer early.Close(); earlyGot = drain(early, total/10, 1, false) }()
+	wg.Wait()
+	b.Wait() // producer must shut down once the last consumer closes
+
+	check := func(name string, got []exec.Step, want int) {
+		t.Helper()
+		if len(got) != want {
+			t.Fatalf("%s consumed %d steps, want %d", name, len(got), want)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("%s step %d = %+v, want %+v", name, i, got[i], ref[i])
+			}
+		}
+	}
+	check("fast", fastGot, total)
+	check("slow", slowGot, total)
+	check("early", earlyGot, total/10)
+}
+
+// TestBroadcastFiniteSource: when the source itself runs short, the
+// producer publishes the partial batch, shuts down, and every consumer
+// sees the full finite stream then a zero refill.
+func TestBroadcastFiniteSource(t *testing.T) {
+	const limit = 1000 // not a multiple of BatchLen: final batch is ragged
+	b := New(Options{BatchLen: 64, RingSlots: 4})
+	c := b.Subscribe()
+	b.Start(&batchCountSource{limit: limit})
+
+	got := drain(c, limit+500, 33, false)
+	if len(got) != limit {
+		t.Fatalf("consumed %d steps from finite source, want %d", len(got), limit)
+	}
+	if n := c.NextBatch(make([]exec.Step, 8)); n != 0 {
+		t.Fatalf("refill after stream end returned %d, want 0", n)
+	}
+	c.Close()
+	b.Wait()
+}
+
+// TestBroadcastStop: cancellation mid-stream unblocks consumers with a
+// short refill and shuts the producer down.
+func TestBroadcastStop(t *testing.T) {
+	b := New(Options{BatchLen: 64, RingSlots: 4})
+	c := b.Subscribe()
+	b.Start(&countSource{})
+
+	// Consume a little, then cancel while the consumer is parked.
+	drain(c, 1000, 64, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Drain whatever was already published; must terminate with a
+		// zero refill rather than block forever.
+		buf := make([]exec.Step, 64)
+		for c.NextBatch(buf) > 0 {
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	b.Stop()
+	<-done
+	c.Close()
+	b.Wait()
+	b.Stop() // idempotent
+}
+
+// TestBroadcastAllCloseShutsProducer: closing every consumer without
+// draining must not leak a parked producer.
+func TestBroadcastAllCloseShutsProducer(t *testing.T) {
+	b := New(Options{BatchLen: 16, RingSlots: 2})
+	c1, c2 := b.Subscribe(), b.Subscribe()
+	b.Start(&countSource{})
+	time.Sleep(time.Millisecond) // let the producer fill the ring and park
+	c1.Close()
+	c2.Close()
+	b.Wait()
+}
+
+func TestSubscribeAfterStartPanics(t *testing.T) {
+	b := New(Options{})
+	c := b.Subscribe()
+	b.Start(&batchCountSource{limit: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subscribe after Start did not panic")
+		}
+		c.Close()
+		b.Wait()
+	}()
+	b.Subscribe()
+}
+
+// TestConsumerScalarNext: the exec.Source view yields the same stream
+// one step at a time.
+func TestConsumerScalarNext(t *testing.T) {
+	const total = 500
+	ref := make([]exec.Step, total)
+	(&batchCountSource{}).NextBatch(ref)
+
+	b := New(Options{BatchLen: 8, RingSlots: 2})
+	c := b.Subscribe()
+	b.Start(&countSource{})
+	var st exec.Step
+	for i := 0; i < total; i++ {
+		c.Next(&st)
+		if st != ref[i] {
+			t.Fatalf("scalar step %d = %+v, want %+v", i, st, ref[i])
+		}
+	}
+	c.Close()
+	b.Wait()
+}

@@ -138,7 +138,10 @@ func Record(w io.Writer, p *program.Program, in exec.Input, n int64) error {
 	return tw.Flush()
 }
 
-// Reader replays a trace as an exec.Source.
+// Reader replays a trace as an exec.Source. It also implements
+// exec.BatchSource, expanding whole (run, target) pairs per refill;
+// pipeline consumers pull through exec.Fill and get the batch path
+// automatically.
 type Reader struct {
 	r   *bufio.Reader
 	p   *program.Program
@@ -227,4 +230,74 @@ func (t *Reader) Next(st *exec.Step) {
 	st.NextIdx = next
 	t.cur = next
 	t.steps++
+}
+
+// NextBatch implements exec.BatchSource by expanding (run, target)
+// pairs directly into dst — one decode per taken branch instead of one
+// decode *check* per instruction. It always returns len(dst) and
+// produces exactly the steps an equivalent series of Next calls would,
+// including the fail-soft cases: past the end of the trace (or after a
+// decode error) it degrades to sequential execution, and a corrupt
+// zero-length run emits one sequential step with its target discarded.
+func (t *Reader) NextBatch(dst []exec.Step) int {
+	n := len(t.p.Instrs)
+	cur := t.cur
+	i := 0
+	for i < len(dst) {
+		if t.run == 0 && t.err == nil {
+			run, err := binary.ReadUvarint(t.r)
+			if err != nil {
+				t.err = err
+			} else {
+				tgt, err := binary.ReadUvarint(t.r)
+				switch {
+				case err != nil:
+					t.err = err
+				case tgt == sentinel:
+					t.run = run
+					t.target = -1
+				case tgt >= uint64(n):
+					t.err = fmt.Errorf("trace: target index %d out of range", tgt)
+				default:
+					t.run = run
+					t.target = int32(tgt)
+				}
+			}
+		}
+		if t.run == 0 {
+			// Degraded mode (decode error or EOF) or a corrupt
+			// zero-length run: one sequential step, matching Next.
+			st := &dst[i]
+			st.Idx = cur
+			next := cur + 1
+			if int(next) >= n {
+				next = 0
+			}
+			st.Taken = false
+			st.NextIdx = next
+			cur = next
+			i++
+			continue
+		}
+		for t.run > 0 && i < len(dst) {
+			st := &dst[i]
+			st.Idx = cur
+			next := cur + 1
+			st.Taken = false
+			t.run--
+			if t.run == 0 && t.target >= 0 {
+				next = t.target
+				st.Taken = true
+			}
+			if int(next) >= n {
+				next = 0
+			}
+			st.NextIdx = next
+			cur = next
+			i++
+		}
+	}
+	t.cur = cur
+	t.steps += int64(i)
+	return i
 }

@@ -436,6 +436,55 @@ func (s *System) run(name string, sim func(int, core.Options) (*pipeline.Result,
 	return s.finish(r, nil)
 }
 
+// RunSchemes simulates the named schemes (see SchemeNames) on one
+// input and returns their results keyed by scheme name. Schemes that
+// can share a stream are simulated in a single pass: the instruction
+// stream is executed once and broadcast to every scheme's simulator
+// (see internal/stepcast), so an N-scheme comparison costs roughly one
+// execution plus N cheap consumers instead of N executions. Grouping
+// never changes the numbers — each result is bit-identical to the
+// corresponding single-scheme accessor (Baseline, Twig, …).
+//
+// When run verification is on (Config.Check or the twigcheck build
+// tag) the schemes run sequentially instead, each under its own
+// checker, exactly as the single accessors do; attached telemetry
+// observers (trace writers, registries) likewise force sequential runs
+// so per-run instrumentation never interleaves.
+func (s *System) RunSchemes(input int, names ...string) (map[string]Result, error) {
+	for _, name := range names {
+		if _, ok := matrixSchemes[name]; !ok {
+			return nil, fmt.Errorf("twig: unknown scheme %q (known: %v)", name, SchemeNames())
+		}
+	}
+	if s.check {
+		out := make(map[string]Result, len(names))
+		for _, name := range names {
+			sc := matrixSchemes[name]
+			r, err := s.run(name, func(in int, o core.Options) (*pipeline.Result, error) {
+				return sc.run(s.art, in, o)
+			}, input)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = r
+		}
+		return out, nil
+	}
+	rs, err := s.art.RunSchemes(names, input, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(rs))
+	for name, r := range rs {
+		res, err := s.finish(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
 // Analysis summarizes the offline analysis for this system.
 func (s *System) Analysis() AnalysisSummary {
 	an := s.art.Analysis
@@ -497,10 +546,14 @@ var matrixSchemes = map[string]struct {
 // on a worker pool of cfg.Jobs workers, backed by a persistent result
 // cache under cfg.CacheDir. Empty slices mean "all nine applications",
 // "all five schemes" and "input 0". Each application is built, profiled
-// and analyzed once as a job DAG shared by its cells; on a warm cache
-// every cell — and the training profile behind it — replays from disk
-// without executing anything. The returned map holds one Result per
-// cell and is identical for any worker count.
+// and analyzed once as a job DAG shared by its cells, and each (app,
+// input) point's schemes run as one grouped job over a shared broadcast
+// stream (runner.GroupResult over core.RunSchemes) — cells already in
+// the cache peel out of their group before anything executes, so on a
+// warm cache every cell — and the training profile behind it — replays
+// from disk without executing anything. The returned map holds one
+// Result per cell and is identical for any worker count, and cell
+// cache entries are interchangeable with those of ungrouped runs.
 func RunMatrix(cfg Config, apps []App, schemes []string, inputs []int) (map[MatrixKey]Result, error) {
 	if len(apps) == 0 {
 		apps = Apps()
@@ -528,58 +581,74 @@ func RunMatrix(cfg Config, apps []App, schemes []string, inputs []int) (map[Matr
 	run := runner.New(runner.Options{Workers: cfg.Jobs, Cache: cache})
 	ctx := context.Background()
 
-	type cell struct {
-		key MatrixKey
-		job *runner.Job
+	// One group per (app, input) point: its cells share a stream. Member
+	// IDs and hashes are exactly those of the equivalent individual jobs,
+	// so caches warmed by either path serve the other.
+	type group struct {
+		app     App
+		input   int
+		art     *runner.Job
+		members []runner.Member
+		byID    map[string]string // member ID -> scheme name
 	}
-	var cells []cell
+	var groups []group
 	for _, app := range apps {
 		art := runner.ArtifactsJob(app, 0, opts, "")
-		for _, scheme := range schemes {
-			sc := matrixSchemes[scheme]
-			for _, input := range inputs {
-				key := MatrixKey{app, scheme, input}
-				memo := fmt.Sprintf("%s/%s/%d", sc.memo, app, input)
+		for _, input := range inputs {
+			g := group{app: app, input: input, art: art, byID: make(map[string]string, len(schemes))}
+			for _, scheme := range schemes {
+				memo := fmt.Sprintf("%s/%s/%d", matrixSchemes[scheme].memo, app, input)
 				h := ""
 				if runner.Cacheable(opts) {
 					h = runner.HashSim(memo, opts)
 				}
-				cells = append(cells, cell{key, &runner.Job{
-					ID:    "run/" + memo,
+				id := "run/" + memo
+				g.members = append(g.members, runner.Member{
+					ID:    id,
 					Kind:  runner.KindSim,
 					Hash:  h,
 					Codec: runner.ResultCodec{},
-					Deps:  []*runner.Job{art},
-					Run: func(_ context.Context, deps []any) (any, error) {
-						return sc.run(deps[0].(*core.Artifacts), input, opts)
-					},
-				}})
+				})
+				g.byID[id] = scheme
 			}
+			groups = append(groups, g)
 		}
 	}
 
-	vals := make([]*pipeline.Result, len(cells))
-	errs := make([]error, len(cells))
+	vals := make([]map[string]any, len(groups))
+	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
-	for i, c := range cells {
+	for i := range groups {
 		wg.Add(1)
-		go func(i int, j *runner.Job) {
+		go func(i int, g group) {
 			defer wg.Done()
-			v, err := run.Result(ctx, j)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			vals[i] = v.(*pipeline.Result)
-		}(i, c.job)
+			vals[i], errs[i] = run.GroupResult(ctx, g.members, []*runner.Job{g.art},
+				func(_ context.Context, deps []any, need []runner.Member) (map[string]any, error) {
+					names := make([]string, len(need))
+					for j, m := range need {
+						names[j] = g.byID[m.ID]
+					}
+					rs, err := deps[0].(*core.Artifacts).RunSchemes(names, g.input, opts)
+					if err != nil {
+						return nil, err
+					}
+					out := make(map[string]any, len(need))
+					for _, m := range need {
+						out[m.ID] = rs[g.byID[m.ID]]
+					}
+					return out, nil
+				})
+		}(i, groups[i])
 	}
 	wg.Wait()
-	out := make(map[MatrixKey]Result, len(cells))
-	for i, c := range cells {
+	out := make(map[MatrixKey]Result, len(groups)*len(schemes))
+	for i, g := range groups {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("twig: %s/%s/%d: %w", c.key.App, c.key.Scheme, c.key.Input, errs[i])
+			return nil, fmt.Errorf("twig: %s input %d: %w", g.app, g.input, errs[i])
 		}
-		out[c.key] = toResult(vals[i])
+		for id, scheme := range g.byID {
+			out[MatrixKey{g.app, scheme, g.input}] = toResult(vals[i][id].(*pipeline.Result))
+		}
 	}
 	return out, nil
 }

@@ -187,3 +187,52 @@ func TestNewSystemUnknownApp(t *testing.T) {
 		t.Fatal("unknown application accepted")
 	}
 }
+
+// TestRunSchemesMatchesAccessors: grouped shared-stream simulation
+// returns exactly what the single-scheme accessors return, and the
+// Check configuration (sequential verified fallback) agrees too.
+func TestRunSchemesMatchesAccessors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates several windows")
+	}
+	sys, err := twig.NewSystem(twig.Verilator, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := sys.RunSchemes(0, "baseline", "twig", "shotgun", "ideal", "confluence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := map[string]func(int) (twig.Result, error){
+		"baseline": sys.Baseline, "twig": sys.Twig, "shotgun": sys.Shotgun,
+		"ideal": sys.IdealBTB, "confluence": sys.Confluence,
+	}
+	for name, run := range solo {
+		want, err := run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(grouped[name], want) {
+			t.Fatalf("%s: grouped %+v differs from solo %+v", name, grouped[name], want)
+		}
+	}
+
+	cfg := smallConfig()
+	cfg.Check = true
+	checked, err := twig.NewSystem(twig.Verilator, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := checked.RunSchemes(0, "baseline", "twig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(verified["baseline"], grouped["baseline"]) ||
+		!reflect.DeepEqual(verified["twig"], grouped["twig"]) {
+		t.Fatal("verified sequential RunSchemes differs from grouped")
+	}
+
+	if _, err := sys.RunSchemes(0, "warp-drive"); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("unknown scheme: err=%v", err)
+	}
+}
