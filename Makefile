@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check docs fuzz cover bench bench-check bench-update experiments clean
+.PHONY: all build test race vet fmt check docs fuzz cover bench bench-check bench-update experiments ledger-demo clean
 
 all: vet build test
 
@@ -76,7 +76,18 @@ experiments:
 experiments-fast:
 	$(GO) run ./cmd/experiments -j 0 -cache .twig-cache
 
+# ledger-demo runs a small slice of the matrix with span tracing on and
+# leaves twig-ledger.jsonl (the run ledger) plus twig-trace.json (open
+# in https://ui.perfetto.dev) behind, then validates both files with
+# the ledger schema tests (see DESIGN.md §10).
+ledger-demo:
+	$(GO) run ./cmd/experiments -only fig1,fig11 -apps verilator,kafka \
+		-instructions 200000 -j 4 -cache "" \
+		-ledger twig-ledger.jsonl -perfetto twig-trace.json
+	$(GO) test ./internal/telemetry -run TestLedgerFileValidates \
+		-args -ledger-file=$(CURDIR)/twig-ledger.jsonl -trace-file=$(CURDIR)/twig-trace.json
+
 # BENCH_pipeline.json is a committed baseline (bench-update regenerates
 # it deliberately); clean only removes derived files.
 clean:
-	rm -f coverage.out
+	rm -f coverage.out twig-ledger.jsonl twig-trace.json

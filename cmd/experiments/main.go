@@ -5,6 +5,9 @@
 //	experiments -instructions 5000000   # larger windows, tighter numbers
 //	experiments -apps cassandra,kafka   # application subset
 //	experiments -j 8 -cache .twig-cache # parallel, with a persistent cache
+//	experiments -ledger run.jsonl       # span-structured run ledger + summary footer
+//	experiments -perfetto trace.json    # ledger as Perfetto-loadable trace_event JSON
+//	experiments -listen :8080 -j 8      # live runner stats (watch with cmd/twigtop)
 //	experiments -list                   # show experiment IDs
 package main
 
@@ -28,6 +31,10 @@ import (
 	"twig/internal/telemetry"
 )
 
+// liveSamplePeriod is the wall-clock sampling period for the runner
+// utilization series served on -listen during parallel runs.
+const liveSamplePeriod = 500 * time.Millisecond
+
 func main() {
 	var (
 		only         = flag.String("only", "", "comma-separated experiment IDs (empty = all)")
@@ -40,6 +47,9 @@ func main() {
 		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 = serial)")
 		cacheDir     = flag.String("cache", runner.DefaultCacheDir(), "persistent result cache directory (default $"+runner.CacheDirEnv+"; empty = no disk cache)")
 		timeout      = flag.Duration("timeout", 0, "per-job timeout, e.g. 10m (0 = none)")
+		ledgerOut    = flag.String("ledger", "", "write the span-structured run ledger (JSONL) to this file and print the summary footer")
+		perfettoOut  = flag.String("perfetto", "", "write the run ledger as Chrome trace_event JSON (loadable in Perfetto) to this file")
+		profileDir   = flag.String("profiledir", "", "capture per-job CPU/heap pprof profiles into this directory")
 	)
 	flag.Parse()
 
@@ -72,19 +82,24 @@ func main() {
 	if *jobs <= 0 {
 		*jobs = runtime.GOMAXPROCS(0)
 	}
-	if *listen != "" && *jobs > 1 {
-		// The live endpoint's counters are wired into one pipeline at a
-		// time; concurrent simulations would race on them.
-		fmt.Fprintln(os.Stderr, "experiments: -listen forces -j 1 (live counters are per-pipeline)")
-		*jobs = 1
-	}
 
 	cache, err := runner.OpenCache(*cacheDir, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	run := runner.New(runner.Options{Workers: *jobs, Timeout: *timeout, Cache: cache})
+	var ledger *telemetry.Ledger
+	if *ledgerOut != "" || *perfettoOut != "" {
+		ledger = telemetry.NewLedger()
+	}
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	run := runner.New(runner.Options{Workers: *jobs, Timeout: *timeout, Cache: cache,
+		Ledger: ledger, ProfileDir: *profileDir})
 
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -96,13 +111,6 @@ func main() {
 		ctx.Apps = appList
 	}
 	if *listen != "" {
-		period := *epoch
-		if period <= 0 {
-			period = ctx.Opts.Pipeline.MaxInstructions / 10
-		}
-		if period <= 0 {
-			period = 1
-		}
 		reg := telemetry.NewRegistry()
 		live := telemetry.NewLiveServer()
 		addr, stop, err := live.Start(*listen)
@@ -112,9 +120,46 @@ func main() {
 		}
 		defer stop()
 		run.PublishTo(reg)
-		ctx.Opts.Telemetry.Registry = reg
-		ctx.Opts.Telemetry.EpochLength = period
-		ctx.Opts.Pipeline.Hooks.OnEpoch = func(int64, int64, float64) { live.Update(reg, nil) }
+		if *jobs == 1 {
+			// Serial runs can additionally wire the pipeline's own
+			// counters into the registry: exactly one simulation is
+			// live at a time, and the epoch hook publishes snapshots
+			// from the simulation thread.
+			period := *epoch
+			if period <= 0 {
+				period = ctx.Opts.Pipeline.MaxInstructions / 10
+			}
+			if period <= 0 {
+				period = 1
+			}
+			ctx.Opts.Telemetry.Registry = reg
+			ctx.Opts.Telemetry.EpochLength = period
+			ctx.Opts.Pipeline.Hooks.OnEpoch = func(int64, int64, float64) { live.Update(reg, nil) }
+		} else {
+			// Parallel runs publish the runner's utilization series
+			// instead: every gauge is an atomic read, so a wall-clock
+			// ticker can sample them safely alongside the worker pool.
+			// The series' instruction axis carries cumulative elapsed
+			// milliseconds (twigtop derives kIPS and busy fractions
+			// from the deltas).
+			sampler := telemetry.NewSampler(reg, int64(liveSamplePeriod/time.Millisecond))
+			sampler.Begin()
+			tick := time.NewTicker(liveSamplePeriod)
+			done := make(chan struct{})
+			go func() {
+				start := time.Now()
+				for {
+					select {
+					case <-tick.C:
+						sampler.Sample(time.Since(start).Milliseconds())
+						live.Update(reg, sampler.Series())
+					case <-done:
+						return
+					}
+				}
+			}()
+			defer func() { tick.Stop(); close(done) }()
+		}
 		fmt.Fprintf(os.Stderr, "experiments: live stats on http://%s\n", addr)
 	}
 
@@ -126,6 +171,24 @@ func main() {
 	fmt.Printf("\nrunner: %s\n", run.Stats().Summary())
 	fmt.Printf("completed in %s\n", time.Since(start).Round(time.Second))
 
+	if ledger != nil {
+		fmt.Print("\n" + ledgerFooter(ledger, run.Stats()))
+		if *ledgerOut != "" {
+			if err := writeLedgerFile(*ledgerOut, ledger.WriteJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing ledger:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *ledgerOut)
+		}
+		if *perfettoOut != "" {
+			if err := writeLedgerFile(*perfettoOut, ledger.WriteTraceEvent); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *perfettoOut)
+		}
+	}
+
 	if *htmlOut != "" {
 		if err := writeHTML(*htmlOut, captured.String(), *instructions, time.Since(start)); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: writing html:", err)
@@ -133,6 +196,19 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *htmlOut)
 	}
+}
+
+// writeLedgerFile streams one ledger export to path.
+func writeLedgerFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // section is one experiment's rendered output for the HTML report.

@@ -1,0 +1,330 @@
+// Command twigtop is a polling terminal dashboard over a running
+// experiments live endpoint: worker busy fractions, queue depth,
+// cache hit rate, and simulated-instruction throughput (kIPS).
+//
+//	experiments -listen :8080 -j 8 &
+//	twigtop -addr 127.0.0.1:8080
+//
+// twigtop polls /vars (and /series, for the throughput sparkline)
+// once per -interval, derives rates from successive snapshots, and
+// redraws the screen. -once renders a single frame without clearing
+// the terminal and exits — handy in scripts and tests. It needs two
+// polls before rates appear; counts show immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "live endpoint address (host:port or full URL)")
+		interval = flag.Duration("interval", time.Second, "poll period")
+		once     = flag.Bool("once", false, "render one frame (two polls, no screen clearing) and exit")
+	)
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		prev, _, err := fetch(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigtop:", err)
+			os.Exit(1)
+		}
+		time.Sleep(*interval)
+		cur, ser, err := fetch(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigtop:", err)
+			os.Exit(1)
+		}
+		fmt.Print(render(base, prev, cur, ser))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	var prev sample
+	for {
+		cur, ser, err := fetch(client, base)
+		// Clear screen + home cursor, then draw; on fetch errors keep
+		// the last frame's data visible and report the error below it.
+		fmt.Print("\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Printf("twigtop  %s\n\n  unreachable: %v\n", base, err)
+		} else {
+			fmt.Print(render(base, prev, cur, ser))
+			prev = cur
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// sample is one /vars poll: the flat metric map plus when it was taken
+// (rates are derived from deltas between successive samples).
+type sample struct {
+	at   time.Time
+	vars map[string]float64
+}
+
+// seriesData mirrors the /series JSON payload.
+type seriesData struct {
+	EpochLength  int64       `json:"epoch_length"`
+	Columns      []string    `json:"columns"`
+	Instructions []int64     `json:"instructions"`
+	Base         []float64   `json:"base"`
+	Samples      [][]float64 `json:"samples"`
+}
+
+// fetch polls /vars and /series. A missing or empty series is not an
+// error (serial runs publish no runner series).
+func fetch(client *http.Client, base string) (sample, *seriesData, error) {
+	body, err := get(client, base+"/vars")
+	if err != nil {
+		return sample{}, nil, err
+	}
+	vars, err := parseVars(body)
+	if err != nil {
+		return sample{}, nil, fmt.Errorf("/vars: %w", err)
+	}
+	s := sample{at: time.Now(), vars: vars}
+	raw, err := get(client, base+"/series")
+	if err != nil {
+		return s, nil, nil
+	}
+	ser, err := parseSeries(raw)
+	if err != nil {
+		return s, nil, nil
+	}
+	return s, ser, nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// parseVars decodes the /vars flat JSON object into a metric map.
+func parseVars(b []byte) (map[string]float64, error) {
+	vars := make(map[string]float64)
+	if err := json.Unmarshal(b, &vars); err != nil {
+		return nil, err
+	}
+	return vars, nil
+}
+
+// parseSeries decodes the /series payload; an empty object (no series
+// published yet) returns nil.
+func parseSeries(b []byte) (*seriesData, error) {
+	var s seriesData
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	if len(s.Columns) == 0 {
+		return nil, nil
+	}
+	return &s, nil
+}
+
+// render draws one dashboard frame from two successive samples. It is
+// a pure function of its inputs so tests can pin the layout; prev may
+// be the zero sample (first poll), in which case rate readouts show
+// "--" until a second poll establishes a delta.
+func render(addr string, prev, cur sample, ser *seriesData) string {
+	v := func(name string) float64 { return cur.vars[name] }
+	elapsedMS := 0.0
+	if !prev.at.IsZero() {
+		elapsedMS = float64(cur.at.Sub(prev.at).Milliseconds())
+	}
+	delta := func(name string) float64 {
+		if elapsedMS <= 0 {
+			return math.NaN()
+		}
+		return cur.vars[name] - prev.vars[name]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "twigtop  %s\n\n", addr)
+	if len(cur.vars) == 0 {
+		b.WriteString("  waiting for data (no metrics published yet)\n")
+		return b.String()
+	}
+
+	fmt.Fprintf(&b, "jobs    scheduled %.0f  running %.0f  done %.0f  failed %.0f  retried %.0f  queue %.0f\n",
+		v("runner_jobs_scheduled"), v("runner_jobs_running"), v("runner_jobs_done"),
+		v("runner_jobs_failed"), v("runner_jobs_retried"), v("runner_queue_depth"))
+
+	hits := v("runner_sims_cached") + v("runner_profiles_cached") + v("runner_derived_cached")
+	runs := v("runner_sims_run") + v("runner_profiles_run") + v("runner_derived_run")
+	rate := 0.0
+	if hits+runs > 0 {
+		rate = hits / (hits + runs) * 100
+	}
+	fmt.Fprintf(&b, "cache   hit %.1f%%  (%.0f cached, %.0f executed)\n", rate, hits, runs)
+
+	// Throughput: simulated instructions per wall millisecond is
+	// numerically equal to thousands of instructions per second.
+	kips := delta("runner_sim_instructions") / elapsedMS
+	fmt.Fprintf(&b, "sim     %s kIPS  (%s instructions total)",
+		fmtRate(kips), fmtCount(v("runner_sim_instructions")))
+	if line := sparkline(ser, "runner_sim_instructions"); line != "" {
+		fmt.Fprintf(&b, "  %s", line)
+	}
+	b.WriteByte('\n')
+
+	workers := workerGauges(cur.vars)
+	if len(workers) > 0 {
+		var total float64
+		fracs := make([]float64, len(workers))
+		for i, name := range workers {
+			f := delta(name) / elapsedMS
+			if math.IsNaN(f) || f < 0 {
+				f = math.NaN()
+			} else if f > 1 {
+				f = 1
+			}
+			fracs[i] = f
+			if !math.IsNaN(f) {
+				total += f
+			}
+		}
+		fmt.Fprintf(&b, "workers %d slots, avg busy %s\n", len(workers), fmtPct(total/float64(len(workers))))
+		for i, name := range workers {
+			fmt.Fprintf(&b, "  %s [%s] %s\n", strings.TrimSuffix(strings.TrimPrefix(name, "runner_"), "_busy_ms"),
+				bar(fracs[i], 20), fmtPct(fracs[i]))
+		}
+	}
+	return b.String()
+}
+
+// workerGauges returns the per-slot busy gauges in slot order.
+func workerGauges(vars map[string]float64) []string {
+	var out []string
+	for name := range vars {
+		if strings.HasPrefix(name, "runner_worker_") && strings.HasSuffix(name, "_busy_ms") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bar renders a fraction in [0,1] as a fixed-width meter; NaN (no
+// delta yet) renders empty.
+func bar(frac float64, width int) string {
+	n := 0
+	if !math.IsNaN(frac) {
+		n = int(frac*float64(width) + 0.5)
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat("-", width-n)
+}
+
+func fmtPct(f float64) string {
+	if math.IsNaN(f) {
+		return "--"
+	}
+	return fmt.Sprintf("%.0f%%", f*100)
+}
+
+func fmtRate(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "--"
+	}
+	return fmt.Sprintf("%.1f", f)
+}
+
+// fmtCount renders a large count with a k/M/G suffix.
+func fmtCount(f float64) string {
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.2fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	default:
+		return fmt.Sprintf("%.0f", f)
+	}
+}
+
+// sparkline renders per-interval rates of one cumulative series column
+// as block characters. The series' instruction axis carries cumulative
+// elapsed milliseconds on parallel runs, so each glyph is that
+// interval's kIPS relative to the window maximum. Returns "" when the
+// column or enough samples are missing.
+func sparkline(ser *seriesData, column string) string {
+	if ser == nil {
+		return ""
+	}
+	col := -1
+	for i, c := range ser.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 || len(ser.Samples) < 2 {
+		return ""
+	}
+	const glyphs = "▁▂▃▄▅▆▇█"
+	const window = 30
+	start := 1
+	if len(ser.Samples) > window {
+		start = len(ser.Samples) - window
+	}
+	rates := make([]float64, 0, window)
+	max := 0.0
+	for i := start; i < len(ser.Samples); i++ {
+		dv := ser.Samples[i][col] - ser.Samples[i-1][col]
+		dt := float64(ser.Instructions[i] - ser.Instructions[i-1])
+		r := 0.0
+		if dt > 0 && dv > 0 {
+			r = dv / dt
+		}
+		rates = append(rates, r)
+		if r > max {
+			max = r
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range rates {
+		idx := int(r / max * float64(len([]rune(glyphs))-1))
+		b.WriteRune([]rune(glyphs)[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twig/internal/telemetry"
+)
+
+// frame builds two successive samples with a fixed 2-second delta and
+// renders them.
+func frame(t *testing.T, prevVars, curVars map[string]float64, ser *seriesData) string {
+	t.Helper()
+	t0 := time.Unix(100, 0)
+	return render("http://x",
+		sample{at: t0, vars: prevVars},
+		sample{at: t0.Add(2 * time.Second), vars: curVars},
+		ser)
+}
+
+func TestRenderRatesFromDeltas(t *testing.T) {
+	prev := map[string]float64{
+		"runner_sim_instructions":  1_000_000,
+		"runner_worker_00_busy_ms": 500,
+		"runner_worker_01_busy_ms": 0,
+	}
+	cur := map[string]float64{
+		"runner_jobs_scheduled":    12,
+		"runner_jobs_running":      2,
+		"runner_jobs_done":         9,
+		"runner_jobs_failed":       0,
+		"runner_jobs_retried":      1,
+		"runner_queue_depth":       3,
+		"runner_sims_run":          4,
+		"runner_sims_cached":       6,
+		"runner_profiles_run":      1,
+		"runner_profiles_cached":   1,
+		"runner_derived_run":       0,
+		"runner_derived_cached":    0,
+		"runner_sim_instructions":  3_000_000,
+		"runner_worker_00_busy_ms": 2000, // Δ1500ms over 2000ms → 75%
+		"runner_worker_01_busy_ms": 1000, // Δ1000ms over 2000ms → 50%
+	}
+	got := frame(t, prev, cur, nil)
+
+	// Δ2,000,000 instructions over 2000 wall ms → 1000 kIPS.
+	for _, want := range []string{
+		"jobs    scheduled 12  running 2  done 9  failed 0  retried 1  queue 3",
+		"cache   hit 58.3%  (7 cached, 5 executed)",
+		"sim     1000.0 kIPS  (3.00M instructions total)",
+		"workers 2 slots, avg busy 62%",
+		"worker_00 [###############-----] 75%",
+		"worker_01 [##########----------] 50%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderFirstPollShowsCountsNotRates(t *testing.T) {
+	cur := map[string]float64{
+		"runner_jobs_scheduled":    5,
+		"runner_sim_instructions":  1_000_000,
+		"runner_worker_00_busy_ms": 400,
+	}
+	got := render("http://x", sample{}, sample{at: time.Unix(100, 0), vars: cur}, nil)
+	for _, want := range []string{"scheduled 5", "-- kIPS", "[--------------------] --"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("first frame lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderEmptyVars(t *testing.T) {
+	got := render("http://x", sample{}, sample{at: time.Unix(1, 0), vars: nil}, nil)
+	if !strings.Contains(got, "waiting for data") {
+		t.Errorf("empty frame should say it is waiting:\n%s", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ser := &seriesData{
+		Columns:      []string{"other", "runner_sim_instructions"},
+		Instructions: []int64{500, 1000, 1500, 2000},
+		Samples: [][]float64{
+			{0, 0},
+			{0, 1000}, // 2 inst/ms
+			{0, 3000}, // 4 inst/ms (max)
+			{0, 4000}, // 2 inst/ms
+		},
+	}
+	got := sparkline(ser, "runner_sim_instructions")
+	if got != "▄█▄" {
+		t.Fatalf("sparkline = %q, want ▄█▄", got)
+	}
+	if sparkline(nil, "x") != "" {
+		t.Fatal("nil series should render empty")
+	}
+	if sparkline(ser, "missing") != "" {
+		t.Fatal("missing column should render empty")
+	}
+}
+
+// TestFetchAgainstLiveServer drives the real poll path: a LiveServer
+// publishing runner-style gauges, polled twice through fetch(), must
+// yield a frame with the derived rates.
+func TestFetchAgainstLiveServer(t *testing.T) {
+	var instr, busy atomic.Int64
+	reg := telemetry.NewRegistry()
+	reg.GaugeInt("runner_sim_instructions", instr.Load)
+	reg.GaugeInt("runner_worker_00_busy_ms", busy.Load)
+	reg.GaugeInt("runner_jobs_scheduled", func() int64 { return 7 })
+
+	live := telemetry.NewLiveServer()
+	sampler := telemetry.NewSampler(reg, 500)
+	sampler.Begin()
+	addr, stop, err := live.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := "http://" + addr
+
+	instr.Store(1_000_000)
+	sampler.Sample(500)
+	live.Update(reg, sampler.Series())
+	prev, _, err := fetch(client, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.vars["runner_jobs_scheduled"] != 7 {
+		t.Fatalf("vars = %v, want runner_jobs_scheduled 7", prev.vars)
+	}
+
+	instr.Store(3_000_000)
+	busy.Store(1200)
+	sampler.Sample(1000)
+	live.Update(reg, sampler.Series())
+	cur, ser, err := fetch(client, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser == nil || len(ser.Samples) != 2 {
+		t.Fatalf("series = %+v, want 2 samples", ser)
+	}
+
+	// Rates come from the real wall-clock delta between the two polls,
+	// so only assert structure, not numbers.
+	got := render(base, prev, cur, ser)
+	for _, want := range []string{"scheduled 7", "kIPS", "worker_00 ["} {
+		if !strings.Contains(got, want) {
+			t.Errorf("live frame lacks %q:\n%s", want, got)
+		}
+	}
+}

@@ -218,6 +218,11 @@ var SchemeNames = []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
 // the two execution paths cannot drift apart.
 func (a *Artifacts) schemeConfig(name string, opts Options) (pipeline.Config, *program.Program, error) {
 	cfg := machineConfig(opts, a.Params)
+	// Each scheme's run nests under its own "scheme:<name>" ledger
+	// span, replacing the caller's parent span: grouped and sequential
+	// execution then produce the same span tree, and concurrent
+	// consumers never share a span.
+	cfg.Telemetry.Span = opts.Telemetry.Span.Child("scheme:"+name, "sim")
 	switch name {
 	case "baseline":
 		cfg.Scheme = prefetcher.NewBaseline(opts.BTB, 0, false)
@@ -248,7 +253,20 @@ func (a *Artifacts) RunScheme(name string, input int, opts Options) (*pipeline.R
 	if err != nil {
 		return nil, err
 	}
-	return pipeline.Run(prog, a.Params.InputPhase(input, EvalPhase), cfg)
+	res, err := pipeline.Run(prog, a.Params.InputPhase(input, EvalPhase), cfg)
+	endSchemeSpan(cfg, err)
+	return res, err
+}
+
+// endSchemeSpan closes the "scheme:<name>" ledger span schemeConfig
+// opened for this configuration.
+func endSchemeSpan(cfg pipeline.Config, err error) {
+	sp := cfg.Telemetry.Span
+	if sp == nil {
+		return
+	}
+	sp.AttrBool("ok", err == nil)
+	sp.End()
 }
 
 // Groupable reports whether opts permits simulating several schemes
@@ -256,7 +274,9 @@ func (a *Artifacts) RunScheme(name string, input int, opts Options) (*pipeline.R
 // per-run observers that grouped execution would invoke from several
 // goroutines at once, so any observer forces the sequential fallback;
 // Telemetry.EpochLength alone is safe (a nil Registry gives each run a
-// private one, see pipeline.Telemetry).
+// private one, see pipeline.Telemetry), and so is Telemetry.Span —
+// schemeConfig gives every scheme its own child span, and the ledger
+// behind them is concurrency-safe.
 func Groupable(opts Options) bool {
 	h := opts.Pipeline.Hooks
 	if h.OnTaken != nil || h.OnBTBMiss != nil || h.OnBlockEnter != nil ||
@@ -278,8 +298,14 @@ func Groupable(opts Options) bool {
 func (a *Artifacts) RunSchemes(names []string, input int, opts Options) (map[string]*pipeline.Result, error) {
 	out := make(map[string]*pipeline.Result, len(names))
 	uniq := make([]string, 0, len(names))
+	// Validate against span-less options: the real schemeConfig call
+	// below is the one that may create each scheme's ledger span, and
+	// it must happen exactly once per scheme so span paths carry no
+	// spurious sibling ordinals.
+	vopts := opts
+	vopts.Telemetry.Span = nil
 	for _, n := range names {
-		if _, _, err := a.schemeConfig(n, opts); err != nil {
+		if _, _, err := a.schemeConfig(n, vopts); err != nil {
 			return nil, err
 		}
 		if _, dup := out[n]; !dup {
@@ -328,6 +354,9 @@ func (a *Artifacts) RunSchemes(names []string, input int, opts Options) (map[str
 		go func(g *group) {
 			defer wg.Done()
 			res, err := pipeline.RunGroup(g.prog, in, g.cfgs)
+			for _, cfg := range g.cfgs {
+				endSchemeSpan(cfg, err)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -23,6 +23,7 @@ import (
 	"twig/internal/core"
 	"twig/internal/pipeline"
 	"twig/internal/runner"
+	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
 
@@ -117,17 +118,45 @@ func (c *Context) ArtifactsOpts(app workload.App, train int, opts core.Options, 
 // serves the result without executing the closure — or building the
 // artifacts it captures.
 func (c *Context) memoRun(key string, f func() (*pipeline.Result, error)) (*pipeline.Result, error) {
+	return c.memoRunCtx(key, func(stdctx.Context) (*pipeline.Result, error) { return f() })
+}
+
+// memoRunCtx is memoRun for closures that want the job's execution
+// context — primarily to pick the job's ledger span out of it (see
+// optsWithSpan) so pipeline phase spans nest under the job. Executed
+// runs credit their instruction count to the runner's aggregate kIPS
+// counter; cache replays never reach the closure and credit nothing.
+func (c *Context) memoRunCtx(key string, f func(jctx stdctx.Context) (*pipeline.Result, error)) (*pipeline.Result, error) {
 	v, err := c.run.Result(c.ctx, &runner.Job{
 		ID:    "run/" + key,
 		Kind:  runner.KindSim,
 		Hash:  c.simHash(key),
 		Codec: runner.ResultCodec{},
-		Run:   func(stdctx.Context, []any) (any, error) { return f() },
+		Run: func(jctx stdctx.Context, _ []any) (any, error) {
+			res, err := f(jctx)
+			if err == nil {
+				c.run.AddSimInstructions(res.Instructions)
+			}
+			return res, err
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
 	}
 	return v.(*pipeline.Result), nil
+}
+
+// optsWithSpan returns the context's options with the job's ledger
+// span (from the runner, via jctx) attached, so the simulation's
+// warmup/measure phases appear as children of the job's span. With no
+// ledger configured the span is nil and the options are unchanged in
+// effect.
+func (c *Context) optsWithSpan(jctx stdctx.Context) core.Options {
+	o := c.Opts
+	if sp := telemetry.SpanFromContext(jctx); sp != nil {
+		o.Telemetry.Span = sp
+	}
+	return o
 }
 
 // memoDerived caches a JSON-serializable derived statistic (3C
@@ -159,8 +188,8 @@ func (c *Context) Baseline(app workload.App, input int) (*pipeline.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return c.memoRun(fmt.Sprintf("base/%s/%d", app, input), func() (*pipeline.Result, error) {
-		return a.RunBaseline(input, c.Opts)
+	return c.memoRunCtx(fmt.Sprintf("base/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunBaseline(input, c.optsWithSpan(jctx))
 	})
 }
 
@@ -170,8 +199,8 @@ func (c *Context) IdealBTB(app workload.App, input int) (*pipeline.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return c.memoRun(fmt.Sprintf("ideal/%s/%d", app, input), func() (*pipeline.Result, error) {
-		return a.RunIdealBTB(input, c.Opts)
+	return c.memoRunCtx(fmt.Sprintf("ideal/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunIdealBTB(input, c.optsWithSpan(jctx))
 	})
 }
 
@@ -181,8 +210,8 @@ func (c *Context) Twig(app workload.App, input int) (*pipeline.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.memoRun(fmt.Sprintf("twig/%s/%d", app, input), func() (*pipeline.Result, error) {
-		return a.RunTwig(input, c.Opts)
+	return c.memoRunCtx(fmt.Sprintf("twig/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunTwig(input, c.optsWithSpan(jctx))
 	})
 }
 
@@ -192,8 +221,8 @@ func (c *Context) Shotgun(app workload.App, input int) (*pipeline.Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return c.memoRun(fmt.Sprintf("shotgun/%s/%d", app, input), func() (*pipeline.Result, error) {
-		return a.RunShotgun(input, c.Opts)
+	return c.memoRunCtx(fmt.Sprintf("shotgun/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunShotgun(input, c.optsWithSpan(jctx))
 	})
 }
 
@@ -203,8 +232,8 @@ func (c *Context) Confluence(app workload.App, input int) (*pipeline.Result, err
 	if err != nil {
 		return nil, err
 	}
-	return c.memoRun(fmt.Sprintf("confluence/%s/%d", app, input), func() (*pipeline.Result, error) {
-		return a.RunConfluence(input, c.Opts)
+	return c.memoRunCtx(fmt.Sprintf("confluence/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunConfluence(input, c.optsWithSpan(jctx))
 	})
 }
 
@@ -247,20 +276,24 @@ func (c *Context) Schemes(app workload.App, input int, names ...string) (map[str
 	}
 	art := runner.ArtifactsJob(app, 0, c.Opts, "")
 	vals, err := c.run.GroupResult(c.ctx, members, []*runner.Job{art},
-		func(_ stdctx.Context, deps []any, need []runner.Member) (map[string]any, error) {
+		func(jctx stdctx.Context, deps []any, need []runner.Member) (map[string]any, error) {
 			a := deps[0].(*core.Artifacts)
 			run := make([]string, len(need))
 			for i, m := range need {
 				run[i] = byID[m.ID]
 			}
-			res, err := a.RunSchemes(run, input, c.Opts)
+			res, err := a.RunSchemes(run, input, c.optsWithSpan(jctx))
 			if err != nil {
 				return nil, err
 			}
 			out := make(map[string]any, len(need))
+			var executed int64
 			for _, m := range need {
-				out[m.ID] = res[byID[m.ID]]
+				r := res[byID[m.ID]]
+				executed += r.Instructions
+				out[m.ID] = r
 			}
+			c.run.AddSimInstructions(executed)
 			return out, nil
 		})
 	if err != nil {
@@ -318,13 +351,21 @@ func IDs() []string {
 	return ids
 }
 
-// RunOne executes an experiment with its header.
+// RunOne executes an experiment with its header. When the runner
+// carries a ledger, the experiment's rendering is recorded as an
+// "exp:<id>" root span (its simulations are separate "job:" roots —
+// jobs are shared across experiments, so parenting them under any one
+// experiment would make the ledger depend on scheduling).
 func (c *Context) RunOne(e Experiment) error {
+	sp := c.run.Ledger().Begin("exp:"+e.ID, "exp")
 	fmt.Fprintf(c.Out, "\n== %s: %s ==\n", e.ID, e.Title)
 	if e.Paper != "" {
 		fmt.Fprintf(c.Out, "paper: %s\n", e.Paper)
 	}
-	return e.Run(c)
+	err := e.Run(c)
+	sp.AttrBool("ok", err == nil)
+	sp.End()
+	return err
 }
 
 // RunSelected executes the experiments named by ids (nil = the whole

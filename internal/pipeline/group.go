@@ -57,7 +57,10 @@ func RunGroupSource(p *program.Program, src exec.Source, cfgs []Config) ([]*Resu
 		}
 	}
 
-	bc := stepcast.New(stepcast.Options{BatchLen: batchSlab})
+	// The producer's ledger span hangs under the first config's span:
+	// the stream is shared by the whole group, and member order is
+	// deterministic, so the first member stands for the group.
+	bc := stepcast.New(stepcast.Options{BatchLen: batchSlab, Span: cfgs[0].Telemetry.Span})
 	consumers := make([]*stepcast.Consumer, len(cfgs))
 	for i := range cfgs {
 		consumers[i] = bc.Subscribe()

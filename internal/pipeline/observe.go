@@ -86,11 +86,16 @@ type Telemetry struct {
 	// measured window (warmup is not traced). The pipeline flushes it
 	// when the run completes.
 	Tracer *telemetry.Tracer
+	// Span, when non-nil, is the run's parent in the span-structured
+	// run ledger: the pipeline hangs "warmup" and "measure" phase
+	// children (with instruction/cycle attributes) under it. Spans are
+	// per-phase, never per-instruction, so the hot loop is untouched.
+	Span *telemetry.Span
 }
 
 // enabled reports whether any telemetry output was requested.
 func (t *Telemetry) enabled() bool {
-	return t.Registry != nil || t.EpochLength > 0 || t.Tracer != nil
+	return t.Registry != nil || t.EpochLength > 0 || t.Tracer != nil || t.Span != nil
 }
 
 // telemetryState is the per-run observability state hanging off the
@@ -103,6 +108,10 @@ type telemetryState struct {
 	epoch    int64 // epochs emitted (1-based label of the last tick)
 	nextTick int64 // measured-instruction count of the next boundary
 	lastTick int64 // measured-instruction count of the last tick
+
+	span     *telemetry.Span // run parent from Telemetry.Span
+	spanWarm *telemetry.Span // open "warmup" phase, ended at telBegin
+	spanMeas *telemetry.Span // open "measure" phase, ended at telEnd
 
 	// missLead distributes the FDIP run-ahead lead observed at demand
 	// L1i misses; pfLate distributes the residual wait of late
@@ -152,11 +161,15 @@ func (s *simulator) setupTelemetry() {
 		reg:      reg,
 		tracer:   t.Tracer,
 		epochLen: t.EpochLength,
+		span:     t.Span,
 		missLead: reg.Histogram("pipeline_miss_lead_cycles"),
 		pfLate:   reg.Histogram("pipeline_prefetch_late_cycles"),
 	}
 	if t.EpochLength > 0 {
 		st.sampler = telemetry.NewSampler(reg, t.EpochLength)
+	}
+	if s.cfg.Warmup > 0 {
+		st.spanWarm = st.span.Child("warmup", "pipeline")
 	}
 	s.tel = st
 }
@@ -172,8 +185,28 @@ func (s *simulator) telBegin() {
 	if t.sampler != nil {
 		t.sampler.Begin()
 	}
+	if t.spanWarm != nil {
+		t.spanWarm.AttrInt("instructions", s.cfg.Warmup)
+		t.spanWarm.End()
+		t.spanWarm = nil
+	}
+	t.spanMeas = t.span.Child("measure", "pipeline")
 	t.nextTick = t.epochLen
 	s.trace = t.tracer
+}
+
+// telEnd closes the run's "measure" phase span with the measured
+// window's headline numbers. Called once after the run loop finishes.
+func (s *simulator) telEnd() {
+	t := s.tel
+	if t == nil || t.spanMeas == nil {
+		return
+	}
+	t.spanMeas.AttrInt("instructions", s.res.Original-s.warmSnap.Original)
+	t.spanMeas.AttrFloat("cycles", s.retireC-s.warmCycles)
+	t.spanMeas.AttrInt("epochs", t.epoch)
+	t.spanMeas.End()
+	t.spanMeas = nil
 }
 
 // telTick emits one epoch boundary: sample the registry, mark the

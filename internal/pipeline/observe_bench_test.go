@@ -8,13 +8,14 @@ import (
 
 	"twig/internal/btb"
 	"twig/internal/prefetcher"
+	"twig/internal/program"
 	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
 
-// benchConfig is the default 1M-instruction cassandra baseline — the
-// configuration the observability overhead budget is specified against.
-func benchConfig(tb testing.TB, telemetryOn bool) (Config, func() (*Result, error)) {
+// benchWorkload builds the default cassandra program the overhead
+// budgets are specified against.
+func benchWorkload(tb testing.TB) (*program.Program, workload.Params) {
 	tb.Helper()
 	params, err := workload.ParamsFor(workload.Cassandra)
 	if err != nil {
@@ -24,6 +25,14 @@ func benchConfig(tb testing.TB, telemetryOn bool) (Config, func() (*Result, erro
 	if err != nil {
 		tb.Fatal(err)
 	}
+	return p, params
+}
+
+// benchConfig is the default 1M-instruction cassandra baseline — the
+// configuration the observability overhead budget is specified against.
+func benchConfig(tb testing.TB, telemetryOn bool) (Config, func() (*Result, error)) {
+	tb.Helper()
+	p, params := benchWorkload(tb)
 	cfg := DefaultConfig()
 	cfg.MaxInstructions = 1_000_000
 	cfg.BackendCPI = params.BackendCPI
@@ -35,6 +44,28 @@ func benchConfig(tb testing.TB, telemetryOn bool) (Config, func() (*Result, erro
 		cfg.Telemetry.Tracer = telemetry.NewTracer(io.Discard)
 	}
 	return cfg, func() (*Result, error) { return Run(p, params.InputPhase(0, 1), cfg) }
+}
+
+// benchConfigSpans is the same baseline with only span tracing on: a
+// run ledger, a fresh root span per run, per-phase children inside the
+// pipeline — no registry, series, or tracer.
+func benchConfigSpans(tb testing.TB) func() (*Result, error) {
+	tb.Helper()
+	p, params := benchWorkload(tb)
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 1_000_000
+	cfg.BackendCPI = params.BackendCPI
+	cfg.CondMispredictRate = params.CondMispredictRate
+	cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	led := telemetry.NewLedger()
+	return func() (*Result, error) {
+		sp := led.Begin("bench", "sim")
+		c := cfg
+		c.Telemetry.Span = sp
+		res, err := Run(p, params.InputPhase(0, 1), c)
+		sp.End()
+		return res, err
+	}
 }
 
 // TestTelemetryOverhead bounds the end-to-end cost of full
@@ -62,6 +93,31 @@ func TestTelemetryOverhead(t *testing.T) {
 
 	_, base := benchConfig(t, false)
 	_, full := benchConfig(t, true)
+	compareOverhead(t, "telemetry", base, full, bound)
+}
+
+// TestLedgerOverhead bounds the cost of span tracing on its own: a run
+// ledger with per-phase spans under the run's root. Spans are created
+// at phase boundaries only — the per-instruction loop pays a single
+// nil-check — so the measured overhead sits within timing noise of the
+// 10% budget.
+func TestLedgerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing comparison")
+	}
+	_, base := benchConfig(t, false)
+	compareOverhead(t, "ledger", base, benchConfigSpans(t), 0.10)
+}
+
+// compareOverhead asserts that full's best-of-five wall time stays
+// within bound of base's. Timing comparisons are inherently noisy;
+// runs are interleaved, each side keeps its best time, and the
+// comparison retries before failing.
+func compareOverhead(t *testing.T, label string, base, full func() (*Result, error), bound float64) {
+	t.Helper()
 	run := func(f func() (*Result, error)) time.Duration {
 		start := time.Now()
 		if _, err := f(); err != nil {
@@ -89,7 +145,7 @@ func TestTelemetryOverhead(t *testing.T) {
 			return
 		}
 	}
-	t.Errorf("telemetry overhead %.1f%% >= %.0f%%", ratio*100, bound*100)
+	t.Errorf("%s overhead %.1f%% >= %.0f%%", label, ratio*100, bound*100)
 }
 
 // BenchmarkPipelineBaseline and BenchmarkPipelineTelemetry are the

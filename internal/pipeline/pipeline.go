@@ -318,6 +318,7 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 	if err := sim.run(); err != nil {
 		return nil, err
 	}
+	sim.telEnd()
 	if t := cfg.Telemetry.Tracer; t != nil {
 		if err := t.Flush(); err != nil {
 			return nil, fmt.Errorf("pipeline: flushing event trace: %w", err)

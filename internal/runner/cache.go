@@ -90,20 +90,35 @@ func (c *Cache) path(hash string) string {
 // and version-mismatched disk entries are removed and reported as
 // misses.
 func (c *Cache) Get(hash string, codec Codec) (any, bool) {
+	return c.GetTraced(hash, codec, nil)
+}
+
+// GetTraced is Get with span structure: the disk tier's envelope
+// decode is recorded as a "decode" child of probe (which may be nil —
+// span methods no-op on nil), and probe gains a "tier" attribute
+// naming where the lookup resolved (mem, disk, or miss).
+func (c *Cache) GetTraced(hash string, codec Codec, probe *telemetry.Span) (any, bool) {
 	if v, ok := c.memGet(hash); ok {
 		c.stats.MemHits.Add(1)
+		probe.AttrStr("tier", "mem")
 		return v, true
 	}
 	if c.dir == "" || len(hash) < 2 {
 		c.stats.Misses.Add(1)
+		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(hash))
 	if err != nil {
 		c.stats.Misses.Add(1)
+		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
+	dec := probe.Child("decode", "cache")
 	v, err := decodeEntry(data, hash, codec)
+	dec.AttrInt("bytes", int64(len(data)))
+	dec.AttrBool("ok", err == nil)
+	dec.End()
 	if err != nil {
 		if _, stale := err.(staleError); stale {
 			c.stats.StaleEvicted.Add(1)
@@ -112,9 +127,11 @@ func (c *Cache) Get(hash string, codec Codec) (any, bool) {
 		}
 		os.Remove(c.path(hash))
 		c.stats.Misses.Add(1)
+		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
 	c.stats.DiskHits.Add(1)
+	probe.AttrStr("tier", "disk")
 	c.memPut(hash, v)
 	return v, true
 }

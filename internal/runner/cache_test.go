@@ -21,9 +21,9 @@ import (
 // correctly invalidates old entries) — update the fixtures and review
 // whether SimVersion should be bumped too.
 const (
-	goldenSimHash     = "441a9f111076a5e44830eac38acde2262c125b7aba04a241629c905a71a2f820"
-	goldenProfileHash = "94869df30f35af401af419287eb61f37d62d9bca0c2dbeca8a1789cb890ca780"
-	goldenDerivedHash = "adc1bce43f028726e1d59252724402781b0f6fea40212314273b1d6e731f6bc7"
+	goldenSimHash     = "707b1b5ce784d39978fd02f7dd1f8bbeed58a1b606d0767429a31618451081fd"
+	goldenProfileHash = "bf29fcb23123485cae08a1d01eaf3db2c5d3fd88b803066a9f854abfaf3d135a"
+	goldenDerivedHash = "f4416527d1e532d79295b01cd1c0d9234fb67a8d319081ee052a569d9ab087cb"
 )
 
 func TestGoldenHashes(t *testing.T) {

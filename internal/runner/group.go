@@ -2,8 +2,11 @@ package runner
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"strings"
+
+	"twig/internal/telemetry"
 )
 
 // Member identifies one cacheable unit of a grouped job — typically
@@ -45,6 +48,16 @@ func (r *Runner) GroupResult(ctx context.Context, members []Member, deps []*Job,
 
 	out := make(map[string]any, len(members))
 
+	// The group's span is named after the requested member set — never
+	// the survivors of claiming or peeling — so its identity is stable
+	// across cache states and claim races. The claimed/peeled counts,
+	// by contrast, reflect this run's races and cache: ledger
+	// determinism holds for runs with equivalent starting state (the
+	// fresh-runner case the j1-vs-j8 test pins).
+	sp := r.opts.Ledger.Begin(groupSpanName(members), "group")
+	sp.AttrInt("members", int64(len(members)))
+	defer sp.End()
+
 	// Claim: members not yet known to this runner become ours to
 	// resolve; the rest are awaited like any concurrent Result call.
 	var mine, await []Member
@@ -61,13 +74,17 @@ func (r *Runner) GroupResult(ctx context.Context, members []Member, deps []*Job,
 		mine = append(mine, m)
 	}
 	r.mu.Unlock()
+	sp.AttrInt("claimed", int64(len(mine)))
 
 	// Peel: cache hits leave the group before any work is scheduled.
 	need := make([]Member, 0, len(mine))
 	for _, m := range mine {
 		r.stats.Scheduled.Add(1)
 		if m.Hash != "" && r.opts.Cache != nil {
-			if v, ok := r.opts.Cache.Get(m.Hash, m.Codec); ok {
+			probe := sp.Child("probe:"+m.ID, "cache")
+			v, ok := r.opts.Cache.GetTraced(m.Hash, m.Codec, probe)
+			probe.End()
+			if ok {
 				r.stats.hit(m.Kind)
 				n := claimed[m.ID]
 				n.val = v
@@ -78,6 +95,7 @@ func (r *Runner) GroupResult(ctx context.Context, members []Member, deps []*Job,
 		}
 		need = append(need, m)
 	}
+	sp.AttrInt("peeled", int64(len(mine)-len(need)))
 
 	var firstErr error
 	if len(need) > 0 {
@@ -89,7 +107,7 @@ func (r *Runner) GroupResult(ctx context.Context, members []Member, deps []*Job,
 				return run(ctx, depVals, need)
 			},
 		}
-		vals, err := r.executeGroup(ctx, gj)
+		vals, err := r.executeGroup(ctx, gj, sp)
 		for _, m := range need {
 			n := claimed[m.ID]
 			if err != nil {
@@ -138,13 +156,14 @@ func (r *Runner) GroupResult(ctx context.Context, members []Member, deps []*Job,
 }
 
 // executeGroup resolves the synthetic group job's deps and runs it on
-// the worker pool, returning the per-member payload map.
-func (r *Runner) executeGroup(ctx context.Context, gj *Job) (map[string]any, error) {
+// the worker pool (queue-wait and attempt spans land under the group
+// span), returning the per-member payload map.
+func (r *Runner) executeGroup(ctx context.Context, gj *Job, sp *telemetry.Span) (map[string]any, error) {
 	depVals, err := r.resolveDeps(ctx, gj)
 	if err != nil {
 		return nil, err
 	}
-	v, err := r.execute(ctx, gj, depVals)
+	v, err := r.execute(ctx, gj, depVals, sp)
 	if err != nil {
 		return nil, fmt.Errorf("runner: group %s: %w", gj.ID, err)
 	}
@@ -164,4 +183,16 @@ func groupID(need []Member) string {
 		ids[i] = m.ID
 	}
 	return "group(" + strings.Join(ids, ",") + ")"
+}
+
+// groupSpanName names a group's ledger span after a digest of the
+// full requested member set, so the span's identity does not shift
+// with cache state or claim outcomes.
+func groupSpanName(members []Member) string {
+	h := sha256.New()
+	for _, m := range members {
+		h.Write([]byte(m.ID))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("group:%x", h.Sum(nil)[:4])
 }

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"twig/internal/telemetry"
+)
+
+// ledgerDAG drives a fixed job DAG — two leaves, a fan-in, an
+// independent job, and a two-member group — through r, returning the
+// canonicalized (timing-stripped, sorted) ledger.
+func ledgerDAG(t *testing.T, workers int) []byte {
+	t.Helper()
+	led := telemetry.NewLedger()
+	r := New(Options{Workers: workers, Ledger: led})
+	ctx := context.Background()
+
+	leaf := func(id string) *Job {
+		return &Job{ID: id, Kind: KindProfile, Run: func(ctx context.Context, _ []any) (any, error) {
+			sp := telemetry.SpanFromContext(ctx)
+			body := sp.Child("body", "test")
+			body.End()
+			return id, nil
+		}}
+	}
+	a, b := leaf("leaf-a"), leaf("leaf-b")
+	fanIn := &Job{ID: "fan-in", Kind: KindDerived, Deps: []*Job{a, b},
+		Run: func(_ context.Context, deps []any) (any, error) {
+			return deps[0].(string) + "+" + deps[1].(string), nil
+		}}
+	solo := &Job{ID: "solo", Kind: KindOther, Run: func(context.Context, []any) (any, error) {
+		return "solo", nil
+	}}
+
+	errc := make(chan error, 3)
+	go func() { _, err := r.Result(ctx, fanIn); errc <- err }()
+	go func() { _, err := r.Result(ctx, solo); errc <- err }()
+	go func() {
+		members := []Member{{ID: "m1", Kind: KindSim}, {ID: "m2", Kind: KindSim}}
+		_, err := r.GroupResult(ctx, members, nil,
+			func(ctx context.Context, _ []any, need []Member) (map[string]any, error) {
+				sp := telemetry.SpanFromContext(ctx)
+				for _, m := range need {
+					c := sp.Child("sim:"+m.ID, "test")
+					c.End()
+				}
+				out := make(map[string]any, len(need))
+				for _, m := range need {
+					out[m.ID] = m.ID
+				}
+				return out, nil
+			})
+		errc <- err
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := led.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := telemetry.CanonicalizeJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ledger invalid: %v\n%s", err, buf.Bytes())
+	}
+	return canon
+}
+
+// TestLedgerDeterministicAcrossWorkers is the j1-vs-j8 oracle: the
+// same DAG on a 1-worker and an 8-worker runner must produce
+// byte-identical ledgers once timing fields are stripped — span
+// identities derive from job structure, never from scheduling.
+func TestLedgerDeterministicAcrossWorkers(t *testing.T) {
+	j1 := ledgerDAG(t, 1)
+	for i := 0; i < 3; i++ { // several rounds: scheduling varies, ledger must not
+		j8 := ledgerDAG(t, 8)
+		if !bytes.Equal(j1, j8) {
+			t.Fatalf("round %d: ledgers differ across worker counts\n--- j1 ---\n%s--- j8 ---\n%s", i, j1, j8)
+		}
+	}
+	// Sanity: the ledger contains the expected structure.
+	for _, want := range []string{"job:leaf-a", "job:fan-in", "queue.wait", "attempt", "body", "group:", "sim:m1"} {
+		if !bytes.Contains(j1, []byte(want)) {
+			t.Fatalf("ledger lacks %q:\n%s", want, j1)
+		}
+	}
+}
+
+// TestLedgerCacheProbeSpans pins the cache-phase span structure: a
+// cold run records a probe miss, a second fresh runner over the same
+// cache records a probe hit with its tier, and the cached job span is
+// marked cached with no execution children.
+func TestLedgerCacheProbeSpans(t *testing.T) {
+	cache, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := func() *Job {
+		return &Job{ID: "sim-x", Kind: KindSim, Hash: strings.Repeat("ab", 32), Codec: JSONCodec[string]{},
+			Run: func(context.Context, []any) (any, error) { return "payload", nil }}
+	}
+	runOnce := func() *telemetry.Ledger {
+		led := telemetry.NewLedger()
+		r := New(Options{Workers: 2, Cache: cache, Ledger: led})
+		if _, err := r.Result(context.Background(), job()); err != nil {
+			t.Fatal(err)
+		}
+		return led
+	}
+
+	cold := runOnce()
+	var coldBuf bytes.Buffer
+	if err := cold.WriteJSONL(&coldBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(coldBuf.Bytes(), []byte(`"tier":"miss"`)) ||
+		!bytes.Contains(coldBuf.Bytes(), []byte(`"name":"attempt"`)) {
+		t.Fatalf("cold ledger missing probe miss or attempt:\n%s", coldBuf.Bytes())
+	}
+
+	warm := runOnce() // fresh runner, same cache: memory tier hit
+	var warmBuf bytes.Buffer
+	if err := warm.WriteJSONL(&warmBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(warmBuf.Bytes(), []byte(`"tier":"mem"`)) ||
+		!bytes.Contains(warmBuf.Bytes(), []byte(`"cached":true`)) {
+		t.Fatalf("warm ledger missing mem-tier hit:\n%s", warmBuf.Bytes())
+	}
+	if bytes.Contains(warmBuf.Bytes(), []byte(`"name":"attempt"`)) {
+		t.Fatalf("cache hit still executed:\n%s", warmBuf.Bytes())
+	}
+}
+
+// TestRunnerUtilizationGauges pins the new series sources: queue
+// depth returns to zero, per-worker busy time accumulates, and
+// AddSimInstructions feeds the aggregate counter.
+func TestRunnerUtilizationGauges(t *testing.T) {
+	r := New(Options{Workers: 2})
+	reg := telemetry.NewRegistry()
+	r.PublishTo(reg)
+	names := reg.Names()
+	for _, want := range []string{"runner_queue_depth", "runner_sim_instructions",
+		"runner_worker_00_busy_ms", "runner_worker_01_busy_ms"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("registry lacks %s (have %v)", want, names)
+		}
+	}
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		id := string(rune('a' + i))
+		go func() {
+			_, err := r.Result(context.Background(), &Job{ID: "busy-" + id,
+				Run: func(context.Context, []any) (any, error) {
+					r.AddSimInstructions(1000)
+					return nil, nil
+				}})
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := r.stats.Queued.Load(); q != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", q)
+	}
+	if got := r.Stats().SimInstructions; got != 8000 {
+		t.Fatalf("sim instructions %d, want 8000", got)
+	}
+	// Every slot index stayed within bounds and the free list refilled.
+	if n := len(r.slots.free); n != 2 {
+		t.Fatalf("free slots %d, want 2", n)
+	}
+}

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// cpuProfileActive guards pprof.StartCPUProfile, which is
+// process-global: with concurrent jobs only one can hold the CPU
+// profiler at a time, so capture is first-come-first-served and the
+// losers simply run unprofiled.
+var cpuProfileActive atomic.Bool
+
+// sanitizeJobID maps a job ID to a filesystem-safe profile filename
+// stem.
+func sanitizeJobID(id string) string {
+	b := []byte(id)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	const maxStem = 120
+	if len(b) > maxStem {
+		b = b[:maxStem]
+	}
+	return string(b)
+}
+
+// startJobProfiles begins best-effort per-job profile capture into
+// dir and returns the function that finishes it: a CPU profile over
+// the job's execution (if this job won the process-global profiler)
+// and a heap profile snapshot taken as the job ends. Capture failures
+// are silent — profiling is diagnostics, never a job-failure cause.
+func startJobProfiles(dir, jobID string) (stop func()) {
+	stem := filepath.Join(dir, sanitizeJobID(jobID))
+	var cpuFile *os.File
+	if cpuProfileActive.CompareAndSwap(false, true) {
+		if f, err := os.Create(stem + ".cpu.pb.gz"); err == nil {
+			if err := pprof.StartCPUProfile(f); err == nil {
+				cpuFile = f
+			} else {
+				f.Close()
+				os.Remove(f.Name())
+				cpuProfileActive.Store(false)
+			}
+		} else {
+			cpuProfileActive.Store(false)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuProfileActive.Store(false)
+		}
+		if f, err := os.Create(stem + ".heap.pb.gz"); err == nil {
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+			} else {
+				f.Close()
+			}
+		}
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"twig/internal/telemetry"
 )
 
 // Kind classifies a job for the runner's telemetry counters, so cache
@@ -97,6 +99,17 @@ type Options struct {
 	Retries int
 	// Cache persistently memoizes hashed job payloads; nil disables.
 	Cache *Cache
+	// Ledger records the span-structured run ledger: every resolved job
+	// becomes a root span with cache-probe, queue-wait and execution
+	// attempt children, and the job span travels into Run's context
+	// (telemetry.SpanFromContext) so job bodies can nest their own
+	// phases under it. nil disables with zero per-job overhead.
+	Ledger *telemetry.Ledger
+	// ProfileDir, when non-empty, captures per-job pprof profiles into
+	// the directory: a CPU profile per executing job (best-effort — CPU
+	// profiling is process-global, so concurrent jobs race for it and
+	// only the winner is profiled) and a heap profile after each job.
+	ProfileDir string
 }
 
 // Runner executes jobs. It is safe for concurrent use; submitting the
@@ -105,6 +118,7 @@ type Runner struct {
 	opts  Options
 	sem   chan struct{}
 	stats counters
+	slots *slotTracker
 
 	mu    sync.Mutex
 	nodes map[string]*node
@@ -124,9 +138,13 @@ func New(opts Options) *Runner {
 	return &Runner{
 		opts:  opts,
 		sem:   make(chan struct{}, opts.Workers),
+		slots: newSlotTracker(opts.Workers),
 		nodes: make(map[string]*node),
 	}
 }
+
+// Ledger returns the configured run ledger, or nil.
+func (r *Runner) Ledger() *telemetry.Ledger { return r.opts.Ledger }
 
 // Workers returns the worker-pool bound.
 func (r *Runner) Workers() int { return r.opts.Workers }
@@ -162,10 +180,23 @@ func (r *Runner) Result(ctx context.Context, j *Job) (any, error) {
 
 // resolve runs the full lifecycle of one job: cache probe, dependency
 // resolution, bounded execution, cache store.
+//
+// Each resolution records one "job:<ID>" root span. Resolution happens
+// exactly once per job ID regardless of how many goroutines await the
+// result, and the span's identity derives from the job ID alone, so
+// the ledger's span set is independent of worker count (the j1-vs-j8
+// determinism test rests on this).
 func (r *Runner) resolve(ctx context.Context, j *Job) (any, error) {
 	r.stats.Scheduled.Add(1)
+	sp := r.opts.Ledger.Begin("job:"+j.ID, "job")
+	sp.AttrStr("kind", j.Kind.String())
+	defer sp.End()
 	if j.Hash != "" && r.opts.Cache != nil {
-		if v, ok := r.opts.Cache.Get(j.Hash, j.Codec); ok {
+		probe := sp.Child("cache.probe", "cache")
+		v, ok := r.opts.Cache.GetTraced(j.Hash, j.Codec, probe)
+		probe.End()
+		if ok {
+			sp.AttrBool("cached", true)
 			r.stats.hit(j.Kind)
 			return v, nil
 		}
@@ -173,11 +204,13 @@ func (r *Runner) resolve(ctx context.Context, j *Job) (any, error) {
 	deps, err := r.resolveDeps(ctx, j)
 	if err != nil {
 		r.stats.Failed.Add(1)
+		sp.AttrBool("failed", true)
 		return nil, err
 	}
-	v, err := r.execute(ctx, j, deps)
+	v, err := r.execute(ctx, j, deps, sp)
 	if err != nil {
 		r.stats.Failed.Add(1)
+		sp.AttrBool("failed", true)
 		return nil, fmt.Errorf("runner: job %s: %w", j.ID, err)
 	}
 	r.stats.Done.Add(1)
@@ -213,27 +246,44 @@ func (r *Runner) resolveDeps(ctx context.Context, j *Job) ([]any, error) {
 }
 
 // execute acquires a worker slot and runs the job with retry, panic
-// isolation and the per-attempt timeout.
-func (r *Runner) execute(ctx context.Context, j *Job, deps []any) (any, error) {
+// isolation and the per-attempt timeout. Queue wait and each attempt
+// record child spans of sp (the job or group span; nil when tracing is
+// off), and the slot's busy time feeds the per-worker utilization
+// gauges.
+func (r *Runner) execute(ctx context.Context, j *Job, deps []any, sp *telemetry.Span) (any, error) {
 	// Check cancellation before the select: when the pool has free slots
 	// AND the context is already done, select would pick a branch at
 	// random, and an already-cancelled submission must never start work.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	wait := sp.Child("queue.wait", "sched")
+	r.stats.Queued.Add(1)
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
+		r.stats.Queued.Add(-1)
+		wait.End()
 		return nil, ctx.Err()
 	}
+	r.stats.Queued.Add(-1)
+	wait.End()
 	defer func() { <-r.sem }()
+	slot := r.slots.acquire()
+	defer r.slots.release(slot)
 	r.stats.Running.Add(1)
 	defer r.stats.Running.Add(-1)
 
 	var err error
 	for attempt := 0; ; attempt++ {
+		// No worker-slot attribute: slot assignment is scheduling
+		// noise, and the ledger must be identical across -j values.
+		asp := sp.Child("attempt", "exec")
+		asp.AttrInt("n", int64(attempt))
 		var v any
-		v, err = r.runOnce(ctx, j, deps)
+		v, err = r.runOnce(ctx, j, deps, sp)
+		asp.AttrBool("ok", err == nil)
+		asp.End()
 		if err == nil {
 			return v, nil
 		}
@@ -246,8 +296,13 @@ func (r *Runner) execute(ctx context.Context, j *Job, deps []any) (any, error) {
 
 // runOnce performs one attempt: panics become errors (a crashing job
 // fails that job, not the process) and the attempt is bounded by the
-// configured timeout.
-func (r *Runner) runOnce(ctx context.Context, j *Job, deps []any) (v any, err error) {
+// configured timeout. The job's span rides into Run's context so job
+// bodies can hang their own phase spans under it; when ProfileDir is
+// set the attempt is bracketed by pprof capture. A timed-out attempt's
+// abandoned goroutine never ends its inner spans, so they simply don't
+// appear in the ledger.
+func (r *Runner) runOnce(ctx context.Context, j *Job, deps []any, sp *telemetry.Span) (v any, err error) {
+	ctx = telemetry.ContextWithSpan(ctx, sp)
 	type outcome struct {
 		v   any
 		err error
@@ -259,6 +314,10 @@ func (r *Runner) runOnce(ctx context.Context, j *Job, deps []any) (v any, err er
 				o = outcome{nil, fmt.Errorf("panic: %v", p)}
 			}
 		}()
+		if r.opts.ProfileDir != "" {
+			stop := startJobProfiles(r.opts.ProfileDir, j.ID)
+			defer stop()
+		}
 		o.v, o.err = j.Run(ctx, deps)
 		return o
 	}

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"twig/internal/exec"
+	"twig/internal/telemetry"
 )
 
 // Options sizes a Broadcaster. Zero values take defaults.
@@ -50,6 +51,11 @@ type Options struct {
 	// RingSlots is the number of batches in flight between the producer
 	// and the slowest consumer (default 8).
 	RingSlots int
+	// Span, when non-nil, parents a "stepcast.produce" ledger span
+	// covering the producer goroutine's lifetime. The span carries no
+	// attributes: produced-batch counts depend on how far the producer
+	// runs ahead of the consumers, which is scheduling-dependent.
+	Span *telemetry.Span
 }
 
 // Broadcaster fans one step stream out to several consumers.
@@ -67,6 +73,8 @@ type Broadcaster struct {
 	stopped   bool // producer told to exit (Stop, or all consumers closed)
 	prodDone  bool // producer goroutine exited
 	done      chan struct{}
+
+	span *telemetry.Span // parent for the producer's ledger span
 }
 
 // New returns an idle Broadcaster. Subscribe consumers, then Start it.
@@ -81,6 +89,7 @@ func New(opts Options) *Broadcaster {
 		slots: make([][]exec.Step, opts.RingSlots),
 		lens:  make([]int, opts.RingSlots),
 		done:  make(chan struct{}),
+		span:  opts.Span,
 	}
 	for i := range b.slots {
 		b.slots[i] = make([]exec.Step, opts.BatchLen)
@@ -137,6 +146,12 @@ func (b *Broadcaster) Wait() { <-b.done }
 
 func (b *Broadcaster) produce(src exec.Source) {
 	defer close(b.done)
+	// The span carries no batch/step counts: the producer runs ahead of
+	// the consumers and stops when the last one finishes, so how many
+	// batches it filled is scheduling-dependent — recording it would
+	// break the ledger's cross-worker-count determinism.
+	sp := b.span.Child("stepcast.produce", "stepcast")
+	defer sp.End()
 	for {
 		b.mu.Lock()
 		for !b.stopped {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 )
@@ -17,9 +18,10 @@ import (
 //
 // Routes:
 //
-//	/metrics  Prometheus text exposition (namespace "twig")
-//	/vars     expvar-style flat JSON of every metric
-//	/series   JSON of the epoch time series sampled so far
+//	/metrics       Prometheus text exposition (namespace "twig")
+//	/vars          expvar-style flat JSON of every metric
+//	/series        JSON of the epoch time series sampled so far
+//	/debug/pprof/  the stdlib runtime profiler (CPU, heap, goroutine…)
 type LiveServer struct {
 	mu      sync.RWMutex
 	prom    []byte
@@ -81,12 +83,22 @@ func (s *LiveServer) Handler() http.Handler {
 		}
 		return s.series
 	}))
+	// Runtime profiling rides on the same endpoint: the stdlib pprof
+	// handlers are stateless and safe alongside a running simulation,
+	// and having them on the live port means one address serves both
+	// "what is it doing" (/vars, /series) and "why is it slow"
+	// (/debug/pprof/profile, /debug/pprof/heap).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "twig live stats: /metrics /vars /series\n")
+		fmt.Fprint(w, "twig live stats: /metrics /vars /series /debug/pprof/\n")
 	}))
 	return mux
 }
