@@ -8,6 +8,7 @@
 //	experiments -ledger run.jsonl       # span-structured run ledger + summary footer
 //	experiments -perfetto trace.json    # ledger as Perfetto-loadable trace_event JSON
 //	experiments -listen :8080 -j 8      # live runner stats (watch with cmd/twigtop)
+//	experiments -only sampled -sample   # interval-sampled estimates with confidence intervals
 //	experiments -list                   # show experiment IDs
 package main
 
@@ -28,6 +29,7 @@ import (
 	"twig"
 	"twig/internal/experiments"
 	"twig/internal/runner"
+	"twig/internal/sampling"
 	"twig/internal/telemetry"
 )
 
@@ -50,6 +52,10 @@ func main() {
 		ledgerOut    = flag.String("ledger", "", "write the span-structured run ledger (JSONL) to this file and print the summary footer")
 		perfettoOut  = flag.String("perfetto", "", "write the run ledger as Chrome trace_event JSON (loadable in Perfetto) to this file")
 		profileDir   = flag.String("profiledir", "", "capture per-job CPU/heap pprof profiles into this directory")
+		sample       = flag.Bool("sample", false, `interval-sampled estimation for the "sampled" experiment (see -interval/-period)`)
+		interval     = flag.Int64("interval", 0, "sampled-interval length in instructions (0 = window/20; with -sample)")
+		period       = flag.Int("period", 4, "measure one interval of every N (with -sample)")
+		sampleSeed   = flag.Uint64("sampleseed", 0, "non-zero = seeded-random interval selection; 0 = systematic (with -sample)")
 	)
 	flag.Parse()
 
@@ -109,6 +115,20 @@ func main() {
 	ctx.SetContext(sigCtx)
 	if len(appList) > 0 {
 		ctx.Apps = appList
+	}
+	if *sample {
+		if *period < 1 {
+			fmt.Fprintf(os.Stderr, "experiments: -period must be at least 1 (got %d)\n", *period)
+			os.Exit(1)
+		}
+		iv := *interval
+		if iv <= 0 {
+			iv = ctx.Opts.Pipeline.MaxInstructions / 20
+		}
+		if iv < 1 {
+			iv = 1
+		}
+		ctx.Opts.Sample = sampling.Spec{Interval: iv, Period: *period, Seed: *sampleSeed, Warmup: iv / 4}
 	}
 	if *listen != "" {
 		reg := telemetry.NewRegistry()

@@ -1,0 +1,197 @@
+// Checkpoint serialization for the branch prediction unit. Every
+// structure saves only run-time state; configuration-derived values
+// (table geometry, thresholds, folded-register widths) come from
+// construction and are validated, not restored.
+package bpu
+
+import "twig/internal/checkpoint"
+
+// Section tags ("DIRP", "RAS0", "IBTB", "TAGE").
+const (
+	secDir  = 0x44495250
+	secRAS  = 0x52415330
+	secIBTB = 0x49425442
+	secTAGE = 0x54414745
+)
+
+// SaveState serializes the predictor's branch ordinal (its only
+// run-time state; the threshold is configuration).
+func (d *DirectionPredictor) SaveState(w *checkpoint.Writer) error {
+	w.Section(secDir)
+	w.U64(d.threshold)
+	w.U64(d.ordinal)
+	return nil
+}
+
+// RestoreState restores a predictor saved with SaveState, verifying
+// the configured threshold matches.
+func (d *DirectionPredictor) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secDir)
+	thr := r.U64()
+	ord := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if thr != d.threshold {
+		return errMismatch("bpu: direction predictor threshold")
+	}
+	d.ordinal = ord
+	return nil
+}
+
+// SaveState serializes the return address stack.
+func (ras *RAS) SaveState(w *checkpoint.Writer) error {
+	w.Section(secRAS)
+	w.U64s(ras.buf)
+	w.Int(ras.top)
+	w.Int(ras.depth)
+	w.I64(ras.Mispredicts)
+	w.I64(ras.Returns)
+	return nil
+}
+
+// RestoreState restores a RAS of identical capacity.
+func (ras *RAS) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secRAS)
+	r.U64sInto(ras.buf)
+	top := r.Int()
+	depth := r.Int()
+	mis := r.I64()
+	rets := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if top < 0 || top >= len(ras.buf) || depth < 0 || depth > len(ras.buf) {
+		return errMismatch("bpu: RAS cursor out of range")
+	}
+	ras.top, ras.depth = top, depth
+	ras.Mispredicts, ras.Returns = mis, rets
+	return nil
+}
+
+// SaveState serializes the indirect BTB's tag, target and recency
+// arrays plus its LRU clock and counters.
+func (ib *IBTB) SaveState(w *checkpoint.Writer) error {
+	w.Section(secIBTB)
+	w.U64s(ib.pcs)
+	w.U64s(ib.targets)
+	w.U64s(ib.stamp)
+	w.U64(ib.clock)
+	w.I64(ib.Lookups)
+	w.I64(ib.Mispredicts)
+	return nil
+}
+
+// RestoreState restores an IBTB of identical geometry.
+func (ib *IBTB) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secIBTB)
+	r.U64sInto(ib.pcs)
+	r.U64sInto(ib.targets)
+	r.U64sInto(ib.stamp)
+	ib.clock = r.U64()
+	ib.Lookups = r.I64()
+	ib.Mispredicts = r.I64()
+	return r.Err()
+}
+
+// SaveState serializes the full TAGE state: base counters, tagged
+// entries (packed tag|ctr|u), folded history registers, the outcome
+// history ring, and the update/accounting counters.
+func (t *TAGE) SaveState(w *checkpoint.Writer) error {
+	w.Section(secTAGE)
+	w.Len(len(t.tables))
+	base := make([]uint8, len(t.base))
+	for i, c := range t.base {
+		base[i] = uint8(c)
+	}
+	w.U8s(base)
+	for _, tbl := range t.tables {
+		packed := make([]uint32, len(tbl))
+		for i, e := range tbl {
+			packed[i] = uint32(e.tag) | uint32(uint8(e.ctr))<<16 | uint32(e.u)<<24
+		}
+		w.U32s(packed)
+	}
+	idx := make([]uint32, len(t.idxFold))
+	for i, f := range t.idxFold {
+		idx[i] = f.comp
+	}
+	w.U32s(idx)
+	for _, fs := range t.tagFold {
+		comps := make([]uint32, len(fs))
+		for i, f := range fs {
+			comps[i] = f.comp
+		}
+		w.U32s(comps)
+	}
+	w.U8s(t.hist)
+	w.Int(t.histPos)
+	w.I64(t.updates)
+	w.I64(t.Lookups)
+	w.I64(t.Mispredicts)
+	return nil
+}
+
+// RestoreState restores a TAGE built with the same configuration.
+func (t *TAGE) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secTAGE)
+	if n := r.Len(); r.Err() == nil && n != len(t.tables) {
+		return errMismatch("bpu: TAGE table count")
+	}
+	base := make([]uint8, len(t.base))
+	r.U8sInto(base)
+	tables := make([][]uint32, len(t.tables))
+	for i := range t.tables {
+		tables[i] = make([]uint32, len(t.tables[i]))
+		r.U32sInto(tables[i])
+	}
+	idx := make([]uint32, len(t.idxFold))
+	r.U32sInto(idx)
+	var tags [2][]uint32
+	for i := range t.tagFold {
+		tags[i] = make([]uint32, len(t.tagFold[i]))
+		r.U32sInto(tags[i])
+	}
+	hist := make([]uint8, len(t.hist))
+	r.U8sInto(hist)
+	histPos := r.Int()
+	updates := r.I64()
+	lookups := r.I64()
+	mispredicts := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if histPos < 0 || histPos >= len(t.hist) {
+		return errMismatch("bpu: TAGE history cursor")
+	}
+	for i, c := range base {
+		t.base[i] = int8(c)
+	}
+	for i := range t.tables {
+		for j, p := range tables[i] {
+			t.tables[i][j] = tageEntry{tag: uint16(p), ctr: int8(uint8(p >> 16)), u: uint8(p >> 24)}
+		}
+	}
+	for i := range t.idxFold {
+		t.idxFold[i].comp = idx[i] & ((1 << uint(t.idxFold[i].compLen)) - 1)
+	}
+	for i := range t.tagFold {
+		for j := range t.tagFold[i] {
+			t.tagFold[i][j].comp = tags[i][j] & ((1 << uint(t.tagFold[i][j].compLen)) - 1)
+		}
+	}
+	copy(t.hist, hist)
+	t.histPos = histPos
+	t.updates = updates
+	t.Lookups, t.Mispredicts = lookups, mispredicts
+	return nil
+}
+
+func errMismatch(what string) error {
+	return &mismatchError{what}
+}
+
+type mismatchError struct{ what string }
+
+// Error implements error.
+func (e *mismatchError) Error() string { return e.what + " does not match checkpoint" }

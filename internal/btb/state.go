@@ -1,0 +1,160 @@
+// Checkpoint serialization for the BTB structures. The pc → slot
+// index of the prefetch buffer is rebuilt from the slot array on
+// restore rather than serialized: the open-addressed table's internal
+// layout never affects lookup results, so the slot array is the
+// canonical state.
+package btb
+
+import (
+	"fmt"
+
+	"twig/internal/checkpoint"
+	"twig/internal/isa"
+)
+
+// Section tags ("BTB0", "BST0", "PBUF").
+const (
+	secBTB   = 0x42544230
+	secStats = 0x42535430
+	secPBuf  = 0x50425546
+)
+
+// SaveState serializes the BTB arrays, LRU clock and random-policy
+// state. Geometry and policy are configuration.
+func (b *BTB) SaveState(w *checkpoint.Writer) error {
+	w.Section(secBTB)
+	w.U64s(b.pcs)
+	w.U64s(b.targets)
+	kinds := make([]uint8, len(b.kinds))
+	for i, k := range b.kinds {
+		kinds[i] = uint8(k)
+	}
+	w.U8s(kinds)
+	w.U64s(b.stamp)
+	w.U64(b.clock)
+	w.U64(b.rnd)
+	return nil
+}
+
+// RestoreState restores a BTB of identical geometry.
+func (b *BTB) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secBTB)
+	r.U64sInto(b.pcs)
+	r.U64sInto(b.targets)
+	kinds := make([]uint8, len(b.kinds))
+	r.U8sInto(kinds)
+	r.U64sInto(b.stamp)
+	b.clock = r.U64()
+	b.rnd = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i, k := range kinds {
+		b.kinds[i] = isa.Kind(k)
+	}
+	return nil
+}
+
+// SaveState serializes the per-kind access/miss counters.
+func (s *Stats) SaveState(w *checkpoint.Writer) error {
+	w.Section(secStats)
+	w.Len(int(isa.NumKinds))
+	for _, v := range s.Accesses {
+		w.I64(v)
+	}
+	for _, v := range s.Misses {
+		w.I64(v)
+	}
+	return nil
+}
+
+// RestoreState restores counters saved with SaveState.
+func (s *Stats) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secStats)
+	if n := r.Len(); r.Err() == nil && n != int(isa.NumKinds) {
+		return fmt.Errorf("btb: checkpoint kind count %d does not match %d", n, isa.NumKinds)
+	}
+	for i := range s.Accesses {
+		s.Accesses[i] = r.I64()
+	}
+	for i := range s.Misses {
+		s.Misses[i] = r.I64()
+	}
+	return r.Err()
+}
+
+// SaveState serializes the prefetch buffer: the slot array verbatim
+// (consumed entries keep their FIFO-ring slots, so slots and the ring
+// must round-trip exactly), the ring itself, and the counters.
+func (p *PrefetchBuffer) SaveState(w *checkpoint.Writer) error {
+	w.Section(secPBuf)
+	w.Int(p.capacity)
+	w.Len(len(p.entries))
+	for _, e := range p.entries {
+		w.U64(e.pc)
+		w.U64(e.target)
+		w.F64(e.ready)
+		w.U8(uint8(e.kind))
+		w.Bool(e.valid)
+	}
+	w.I32s(p.fifo)
+	w.Int(p.fifoHead)
+	w.Int(p.fifoLen)
+	w.I64(p.Issued)
+	w.I64(p.Used)
+	w.I64(p.Late)
+	w.I64(p.Evicted)
+	return nil
+}
+
+// RestoreState restores a buffer of identical capacity, rebuilding
+// the pc → slot index from the valid entries.
+func (p *PrefetchBuffer) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secPBuf)
+	if c := r.Int(); r.Err() == nil && c != p.capacity {
+		return fmt.Errorf("btb: checkpoint prefetch buffer capacity %d does not match %d", c, p.capacity)
+	}
+	if n := r.Len(); r.Err() == nil && n != len(p.entries) {
+		return fmt.Errorf("btb: checkpoint prefetch buffer entry count mismatch")
+	}
+	entries := make([]bufEntry, len(p.entries))
+	for i := range entries {
+		entries[i] = bufEntry{
+			pc:     r.U64(),
+			target: r.U64(),
+			ready:  r.F64(),
+			kind:   isa.Kind(r.U8()),
+			valid:  r.Bool(),
+		}
+	}
+	fifo := make([]int32, len(p.fifo))
+	r.I32sInto(fifo)
+	fifoHead := r.Int()
+	fifoLen := r.Int()
+	issued := r.I64()
+	used := r.I64()
+	late := r.I64()
+	evicted := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if (p.capacity > 0 && (fifoHead < 0 || fifoHead >= p.capacity)) || fifoLen < 0 || fifoLen > p.capacity {
+		return fmt.Errorf("btb: checkpoint prefetch buffer ring cursor out of range")
+	}
+	for _, s := range fifo {
+		if int(s) < 0 || int(s) >= p.capacity {
+			return fmt.Errorf("btb: checkpoint prefetch buffer slot out of range")
+		}
+	}
+	copy(p.entries, entries)
+	copy(p.fifo, fifo)
+	p.fifoHead, p.fifoLen = fifoHead, fifoLen
+	p.Issued, p.Used, p.Late, p.Evicted = issued, used, late, evicted
+	p.index.Clear()
+	for i := range p.entries {
+		if p.entries[i].valid {
+			p.index.Put(p.entries[i].pc, int32(i))
+		}
+	}
+	return nil
+}

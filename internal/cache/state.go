@@ -1,0 +1,57 @@
+// Checkpoint serialization for the instruction-cache hierarchy.
+package cache
+
+import "twig/internal/checkpoint"
+
+// Section tags ("CCH0", "HIER").
+const (
+	secCache = 0x43434830
+	secHier  = 0x48494552
+)
+
+// SaveState serializes the tag and recency arrays, the LRU clock and
+// the demand counters. Geometry is configuration.
+func (c *Cache) SaveState(w *checkpoint.Writer) error {
+	w.Section(secCache)
+	w.U64s(c.tags)
+	w.U64s(c.stamp)
+	w.U64(c.clock)
+	w.I64(c.Accesses)
+	w.I64(c.Misses)
+	return nil
+}
+
+// RestoreState restores a cache of identical geometry.
+func (c *Cache) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secCache)
+	r.U64sInto(c.tags)
+	r.U64sInto(c.stamp)
+	c.clock = r.U64()
+	c.Accesses = r.I64()
+	c.Misses = r.I64()
+	return r.Err()
+}
+
+// SaveState serializes all three levels. Latencies are configuration.
+func (h *Hierarchy) SaveState(w *checkpoint.Writer) error {
+	w.Section(secHier)
+	if err := h.L1.SaveState(w); err != nil {
+		return err
+	}
+	if err := h.L2.SaveState(w); err != nil {
+		return err
+	}
+	return h.L3.SaveState(w)
+}
+
+// RestoreState restores a hierarchy of identical geometry.
+func (h *Hierarchy) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secHier)
+	if err := h.L1.RestoreState(r); err != nil {
+		return err
+	}
+	if err := h.L2.RestoreState(r); err != nil {
+		return err
+	}
+	return h.L3.RestoreState(r)
+}

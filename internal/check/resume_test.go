@@ -1,0 +1,230 @@
+// Metamorphic resume oracle: a run split at arbitrary checkpoint
+// boundaries — serialize, restore into a fresh simulator, continue —
+// must be indistinguishable from the unsplit run, not just in its
+// final Result but in the complete hook-observed event stream. The
+// hooks persist across segments, so any drift in replayed state
+// (clock skew, lost queue occupancy, a PRNG cursor off by one) shows
+// up as a byte difference in the streams.
+package check_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"twig/internal/core"
+	"twig/internal/exec"
+	"twig/internal/pipeline"
+	"twig/internal/prefetcher"
+	"twig/internal/program"
+	"twig/internal/rng"
+	"twig/internal/workload"
+)
+
+// recordingHooks returns hooks that append every committed-stream
+// event (with its cycle stamps) to buf.
+func recordingHooks(buf *bytes.Buffer) pipeline.Hooks {
+	return pipeline.Hooks{
+		OnTaken: func(from, to int32, cycle float64) {
+			fmt.Fprintf(buf, "taken %d %d %.3f\n", from, to, cycle)
+		},
+		OnBTBMiss: func(idx int32, cycle float64) {
+			fmt.Fprintf(buf, "miss %d %.3f\n", idx, cycle)
+		},
+		OnBlockEnter: func(id int32) {
+			fmt.Fprintf(buf, "block %d\n", id)
+		},
+		OnResteer: func(cause pipeline.ResteerCause, idx int32, cycle float64) {
+			fmt.Fprintf(buf, "resteer %d %d %.3f\n", cause, idx, cycle)
+		},
+		OnPrefetch: func(ev pipeline.PrefetchEvent, pc uint64, cycle float64) {
+			fmt.Fprintf(buf, "prefetch %d %x %.3f\n", ev, pc, cycle)
+		},
+		OnICacheMiss: func(line uint64, lead, cycle float64) {
+			fmt.Fprintf(buf, "icache %x %.3f %.3f\n", line, lead, cycle)
+		},
+	}
+}
+
+// resumeCase describes one scheme's pipeline-level run setup, mirroring
+// core's schemeConfig (which is what the experiment harness executes).
+type resumeCase struct {
+	name string
+	prog func(*core.Artifacts) *program.Program
+	cfg  func(pipeline.Config) pipeline.Config
+	mk   func(core.Options) prefetcher.Scheme
+}
+
+func resumeCases() []resumeCase {
+	return []resumeCase{
+		{
+			name: "baseline",
+			prog: func(a *core.Artifacts) *program.Program { return a.Program },
+			cfg:  func(c pipeline.Config) pipeline.Config { return c },
+			mk: func(o core.Options) prefetcher.Scheme {
+				return prefetcher.NewBaseline(o.BTB, 0, false)
+			},
+		},
+		{
+			name: "twig",
+			prog: func(a *core.Artifacts) *program.Program { return a.Optimized },
+			cfg:  func(c pipeline.Config) pipeline.Config { return c },
+			mk: func(o core.Options) prefetcher.Scheme {
+				return prefetcher.NewBaseline(o.BTB, o.PrefetchBuffer, false)
+			},
+		},
+		{
+			name: "shotgun",
+			prog: func(a *core.Artifacts) *program.Program { return a.Program },
+			cfg: func(c pipeline.Config) pipeline.Config {
+				c.RASEntries = 1536
+				return c
+			},
+			mk: func(core.Options) prefetcher.Scheme {
+				return prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+			},
+		},
+	}
+}
+
+// TestMetamorphicResumeOracle splits each scheme's run at k seeded
+// random instruction boundaries and requires both the final Result and
+// the concatenated hook stream to be byte-identical to the unsplit
+// run. Splits land anywhere — inside warmup included — because the
+// checkpoint must be position-independent.
+func TestMetamorphicResumeOracle(t *testing.T) {
+	app := workload.Cassandra
+	a := artifactsFor(t, app)
+	opts := core.DefaultOptions()
+	in := a.Params.InputPhase(0, core.EvalPhase)
+	const warm = matrixWindow / 4
+	total := int64(matrixWindow + warm)
+
+	for _, tc := range resumeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			base := opts.Pipeline
+			base.MaxInstructions = matrixWindow
+			base.Warmup = warm
+			base.BackendCPI = a.Params.BackendCPI
+			base.CondMispredictRate = a.Params.CondMispredictRate
+			base = tc.cfg(base)
+
+			var contBuf bytes.Buffer
+			cfg := base
+			cfg.Hooks = recordingHooks(&contBuf)
+			cfg.Scheme = tc.mk(opts)
+			want, err := pipeline.Run(tc.prog(a), in, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// k random split points, sorted; duplicates collapse (a
+			// zero-length segment is a legal, if pointless, resume).
+			r := rng.New(0x5EED ^ uint64(len(tc.name)))
+			splits := make([]int64, 3)
+			for i := range splits {
+				splits[i] = 1 + int64(r.Intn(int(total-1)))
+			}
+			sort.Slice(splits, func(i, j int) bool { return splits[i] < splits[j] })
+
+			var splitBuf bytes.Buffer
+			hooks := recordingHooks(&splitBuf)
+			scfg := base
+			scfg.Hooks = hooks
+			scfg.Scheme = tc.mk(opts)
+			src, err := exec.New(tc.prog(a), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := pipeline.NewSim(tc.prog(a), src, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, split := range splits {
+				if err := sim.RunTo(split); err != nil {
+					t.Fatal(err)
+				}
+				data, err := sim.Checkpoint()
+				if err != nil {
+					t.Fatalf("checkpoint at %d: %v", split, err)
+				}
+				// Fresh everything: scheme, source, simulator. Only the
+				// hook closures (and their buffer) carry over, exactly as
+				// a restored run in a new process would reattach its own.
+				ncfg := base
+				ncfg.Hooks = hooks
+				ncfg.Scheme = tc.mk(opts)
+				nsrc, err := exec.New(tc.prog(a), in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err = pipeline.ResumeSim(tc.prog(a), nsrc, ncfg, data)
+				if err != nil {
+					t.Fatalf("resume at %d: %v", split, err)
+				}
+				if got := sim.Instructions(); got != split {
+					t.Fatalf("resumed at %d, want %d", got, split)
+				}
+			}
+			if err := sim.RunTo(total); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("split run result differs (splits %v):\n got %+v\nwant %+v", splits, got, want)
+			}
+			if !bytes.Equal(contBuf.Bytes(), splitBuf.Bytes()) {
+				t.Errorf("hook streams differ (splits %v): continuous %d bytes, split %d bytes; first divergence at byte %d",
+					splits, contBuf.Len(), splitBuf.Len(), firstDiff(contBuf.Bytes(), splitBuf.Bytes()))
+			}
+		})
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestResumeOracleCoreLevel pins the same identity one layer up: a
+// checkpoint taken through core.CheckpointScheme and continued through
+// core.ResumeScheme must reproduce core.RunScheme bit-for-bit.
+func TestResumeOracleCoreLevel(t *testing.T) {
+	a := artifactsFor(t, workload.Drupal)
+	opts := core.DefaultOptions()
+	opts.Pipeline.MaxInstructions = matrixWindow
+
+	for _, scheme := range []string{"baseline", "twig", "confluence"} {
+		t.Run(scheme, func(t *testing.T) {
+			want, err := a.RunScheme(scheme, 0, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := a.CheckpointScheme(scheme, 0, opts, matrixWindow/3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.ResumeScheme(scheme, 0, opts, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("resumed result differs:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,437 @@
+// Package checkpoint is the versioned binary codec behind simulator
+// state save/restore. A checkpoint is a little-endian byte stream
+// wrapped in a self-describing envelope:
+//
+//	magic "TWIGCKPT" | version u32 | payload length u64 | payload | CRC32(payload) u32
+//
+// The payload is a flat sequence of scalars, length-prefixed slices
+// and section tags written by component SaveState methods in a fixed
+// order and read back by the mirrored RestoreState methods. Every
+// value is written deterministically (map-backed state is serialized
+// in sorted key order by its owner), so the same simulator state
+// always produces the same bytes, and checkpoints are safe to
+// content-address.
+//
+// Decoding is defensive: Open rejects wrong magic, unknown versions,
+// length mismatches and CRC failures; Reader accumulates an error on
+// the first short read, bounds every slice allocation by the bytes
+// actually remaining, and never panics on arbitrary input (fuzzed by
+// FuzzCheckpointDecode). See DESIGN.md §11 for the format and the
+// bit-identical-resume argument.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the current checkpoint format version. Bump it whenever
+// the payload layout of any component changes; old checkpoints are
+// rejected rather than misread.
+const Version = 1
+
+// magic identifies a Twig checkpoint envelope.
+const magic = "TWIGCKPT"
+
+// envelope overhead: magic + version(4) + length(8) + crc(4).
+const headerLen = len(magic) + 4 + 8
+const trailerLen = 4
+
+// State is implemented by every component that participates in a
+// checkpoint. SaveState appends the component's state to w;
+// RestoreState reads it back into an already-constructed component
+// with identical configuration. Restore must validate structural
+// parameters (table sizes, capacities) against the receiver and fail
+// rather than resize.
+type State interface {
+	SaveState(w *Writer) error
+	RestoreState(r *Reader) error
+}
+
+// Writer accumulates a checkpoint payload. The zero value is not
+// usable; call NewWriter.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the envelope header reserved.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 4096)}
+	return w
+}
+
+// Section writes a framing tag that Reader.Section verifies, catching
+// component ordering or layout drift early with a clear error instead
+// of silently misreading downstream fields.
+func (w *Writer) Section(tag uint32) { w.U32(tag) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Len appends a slice length prefix.
+func (w *Writer) Len(n int) { w.U32(uint32(n)) }
+
+// U64s appends a length-prefixed []uint64.
+func (w *Writer) U64s(s []uint64) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+// I64s appends a length-prefixed []int64.
+func (w *Writer) I64s(s []int64) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.I64(v)
+	}
+}
+
+// F64s appends a length-prefixed []float64.
+func (w *Writer) F64s(s []float64) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.F64(v)
+	}
+}
+
+// U32s appends a length-prefixed []uint32.
+func (w *Writer) U32s(s []uint32) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.U32(v)
+	}
+}
+
+// I32s appends a length-prefixed []int32.
+func (w *Writer) I32s(s []int32) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.U32(uint32(v))
+	}
+}
+
+// U8s appends a length-prefixed []uint8.
+func (w *Writer) U8s(s []uint8) {
+	w.Len(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Bools appends a length-prefixed []bool.
+func (w *Writer) Bools(s []bool) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.Bool(v)
+	}
+}
+
+// Finish seals the payload into the envelope and returns the
+// checkpoint bytes. The Writer must not be used afterwards.
+func (w *Writer) Finish() []byte {
+	payload := w.buf
+	out := make([]byte, 0, headerLen+len(payload)+trailerLen)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// Reader decodes a checkpoint payload. The first failed read sets a
+// sticky error; subsequent reads return zero values, so RestoreState
+// bodies can read unconditionally and check Err once.
+type Reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// Open validates a checkpoint envelope and returns a Reader over its
+// payload. It rejects truncated envelopes, wrong magic, unknown
+// versions, payload length mismatches and CRC failures.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("checkpoint: truncated envelope (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	ver := binary.LittleEndian.Uint32(data[len(magic):])
+	if ver != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", ver, Version)
+	}
+	plen := binary.LittleEndian.Uint64(data[len(magic)+4:])
+	if plen != uint64(len(data)-headerLen-trailerLen) {
+		return nil, fmt.Errorf("checkpoint: payload length %d does not match envelope (%d bytes)",
+			plen, len(data)-headerLen-trailerLen)
+	}
+	payload := data[headerLen : len(data)-trailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-trailerLen:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch (got %08x want %08x)", got, want)
+	}
+	return &Reader{data: payload}, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first decode error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+// take returns the next n payload bytes, or nil after recording an
+// error when fewer remain.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.pos < n {
+		r.fail("payload truncated at offset %d (want %d bytes, have %d)", r.pos, n, len(r.data)-r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// Section reads a framing tag and verifies it matches tag.
+func (r *Reader) Section(tag uint32) {
+	if got := r.U32(); r.err == nil && got != tag {
+		r.fail("section tag mismatch: got %08x want %08x", got, tag)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool; any byte other than 0 or 1 is an error.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid bool encoding at offset %d", r.pos-1)
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a count written by Writer.Len.
+func (r *Reader) Len() int { return int(r.U32()) }
+
+// sliceLen reads a length prefix for elements of elemSize bytes. want
+// >= 0 demands that exact length (fixed-size component arrays); want
+// < 0 accepts any length that fits in the remaining payload, which
+// bounds allocation on corrupt or adversarial input.
+func (r *Reader) sliceLen(want, elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if want >= 0 && n != want {
+		r.fail("slice length %d does not match structure size %d at offset %d", n, want, r.pos)
+		return 0
+	}
+	if elemSize > 0 && n > (len(r.data)-r.pos)/elemSize {
+		r.fail("slice length %d exceeds remaining payload at offset %d", n, r.pos)
+		return 0
+	}
+	return n
+}
+
+// U64s reads a length-prefixed []uint64. want >= 0 demands that exact
+// length; want < 0 accepts any (payload-bounded) length.
+func (r *Reader) U64s(want int) []uint64 {
+	n := r.sliceLen(want, 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = r.U64()
+	}
+	return s
+}
+
+// U64sInto reads a length-prefixed []uint64 into dst, demanding an
+// exact length match.
+func (r *Reader) U64sInto(dst []uint64) {
+	if r.sliceLen(len(dst), 8); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// I64sInto reads a length-prefixed []int64 into dst.
+func (r *Reader) I64sInto(dst []int64) {
+	if r.sliceLen(len(dst), 8); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I64()
+	}
+}
+
+// F64s reads a length-prefixed []float64 with payload-bounded length.
+func (r *Reader) F64s(want int) []float64 {
+	n := r.sliceLen(want, 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.F64()
+	}
+	return s
+}
+
+// F64sInto reads a length-prefixed []float64 into dst.
+func (r *Reader) F64sInto(dst []float64) {
+	if r.sliceLen(len(dst), 8); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.F64()
+	}
+}
+
+// U32sInto reads a length-prefixed []uint32 into dst.
+func (r *Reader) U32sInto(dst []uint32) {
+	if r.sliceLen(len(dst), 4); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U32()
+	}
+}
+
+// I32s reads a length-prefixed []int32 with payload-bounded length.
+func (r *Reader) I32s(want int) []int32 {
+	n := r.sliceLen(want, 4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(r.U32())
+	}
+	return s
+}
+
+// I32sInto reads a length-prefixed []int32 into dst.
+func (r *Reader) I32sInto(dst []int32) {
+	if r.sliceLen(len(dst), 4); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = int32(r.U32())
+	}
+}
+
+// U8s reads a length-prefixed []uint8 with payload-bounded length.
+func (r *Reader) U8s(want int) []uint8 {
+	n := r.sliceLen(want, 1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]uint8, n)
+	copy(s, r.take(n))
+	return s
+}
+
+// U8sInto reads a length-prefixed []uint8 into dst.
+func (r *Reader) U8sInto(dst []uint8) {
+	if r.sliceLen(len(dst), 1); r.err != nil {
+		return
+	}
+	copy(dst, r.take(len(dst)))
+}
+
+// BoolsInto reads a length-prefixed []bool into dst.
+func (r *Reader) BoolsInto(dst []bool) {
+	if r.sliceLen(len(dst), 1); r.err != nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Bool()
+	}
+}
+
+// Close verifies the whole payload was consumed, catching layout
+// drift where a reader under-consumes what the writer produced.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("checkpoint: %d trailing payload bytes", len(r.data)-r.pos)
+	}
+	return nil
+}

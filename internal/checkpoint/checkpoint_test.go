@@ -1,0 +1,257 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// buildSample writes one value of every codec type and returns the
+// sealed envelope.
+func buildSample() []byte {
+	w := NewWriter()
+	w.Section(0x54455354)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Int(12345)
+	w.F64(3.5)
+	w.F64(math.Inf(1))
+	w.U64s([]uint64{1, 2, 3})
+	w.I64s([]int64{-1, 0, 1})
+	w.F64s([]float64{0.5, -0.5})
+	w.U32s([]uint32{9, 8})
+	w.I32s([]int32{-3, 3})
+	w.U8s([]uint8{1, 2, 3, 4})
+	w.Bools([]bool{true, false, true})
+	w.Len(2)
+	return w.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	r, err := Open(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(0x54455354)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 12345 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.F64(); got != 3.5 {
+		t.Fatalf("F64 = %f", got)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Fatalf("F64 inf = %f", got)
+	}
+	if got := r.U64s(-1); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("U64s = %v", got)
+	}
+	i64 := make([]int64, 3)
+	r.I64sInto(i64)
+	if i64[0] != -1 || i64[2] != 1 {
+		t.Fatalf("I64sInto = %v", i64)
+	}
+	if got := r.F64s(2); len(got) != 2 || got[1] != -0.5 {
+		t.Fatalf("F64s = %v", got)
+	}
+	u32 := make([]uint32, 2)
+	r.U32sInto(u32)
+	if u32[0] != 9 {
+		t.Fatalf("U32sInto = %v", u32)
+	}
+	if got := r.I32s(2); got[0] != -3 || got[1] != 3 {
+		t.Fatalf("I32s = %v", got)
+	}
+	u8 := make([]uint8, 4)
+	r.U8sInto(u8)
+	if u8[3] != 4 {
+		t.Fatalf("U8sInto = %v", u8)
+	}
+	bl := make([]bool, 3)
+	r.BoolsInto(bl)
+	if !bl[0] || bl[1] || !bl[2] {
+		t.Fatalf("BoolsInto = %v", bl)
+	}
+	if got := r.Len(); got != 2 {
+		t.Fatalf("Len = %d", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeRejections(t *testing.T) {
+	good := buildSample()
+
+	if _, err := Open(good[:10]); err == nil {
+		t.Error("truncated envelope accepted")
+	}
+	bad := bytes.Clone(good)
+	bad[0] = 'X'
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = bytes.Clone(good)
+	binary.LittleEndian.PutUint32(bad[len(magic):], Version+1)
+	if _, err := Open(bad); err == nil {
+		t.Error("future version accepted")
+	}
+	bad = bytes.Clone(good)
+	binary.LittleEndian.PutUint64(bad[len(magic)+4:], 7)
+	if _, err := Open(bad); err == nil {
+		t.Error("payload length mismatch accepted")
+	}
+	bad = bytes.Clone(good)
+	bad[headerLen+3] ^= 0x40 // corrupt payload, CRC must catch it
+	if _, err := Open(bad); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	bad = bytes.Clone(good)
+	bad[len(bad)-1] ^= 0x01 // corrupt the CRC itself
+	if _, err := Open(bad); err == nil {
+		t.Error("corrupt CRC accepted")
+	}
+	if _, err := Open(good); err != nil {
+		t.Errorf("pristine envelope rejected: %v", err)
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Section(0x41414141)
+	w.U64(1)
+	r, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(0x42424242)
+	if r.Err() == nil {
+		t.Fatal("section tag mismatch not detected")
+	}
+}
+
+func TestStickyErrorAndBounds(t *testing.T) {
+	w := NewWriter()
+	w.U32(5)
+	r, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64() // short read: only 4 bytes of payload
+	if r.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("read after error = %d, want 0", got)
+	}
+	if r.Close() == nil {
+		t.Fatal("Close cleared a sticky error")
+	}
+
+	// A claimed slice length larger than the remaining payload must be
+	// rejected before allocation.
+	w = NewWriter()
+	w.Len(1 << 30)
+	r, err = Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.U64s(-1); s != nil || r.Err() == nil {
+		t.Fatal("oversized slice length not rejected")
+	}
+
+	// Exact-length readers reject a different stored length.
+	w = NewWriter()
+	w.U64s([]uint64{1, 2})
+	r, err = Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 3)
+	r.U64sInto(dst)
+	if r.Err() == nil {
+		t.Fatal("slice length mismatch not rejected")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	w.U64(2)
+	r, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64()
+	if err := r.Close(); err == nil {
+		t.Fatal("unconsumed payload not detected")
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	w := NewWriter()
+	w.U8(2)
+	r, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bool(); r.Err() == nil {
+		t.Fatal("invalid bool encoding accepted")
+	}
+}
+
+// FuzzCheckpointDecode feeds arbitrary bytes through the envelope
+// validator and, when one opens, drains the payload through every
+// reader type. The codec must never panic and must reject malformed
+// envelopes with an error, not garbage values.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(buildSample())
+	w := NewWriter()
+	w.Section(0x53494d30)
+	w.U64s([]uint64{1, 2, 3})
+	f.Add(w.Finish())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Open(data)
+		if err != nil {
+			return
+		}
+		// Drain with a mix of readers; sticky errors must make every
+		// subsequent read safe regardless of the underlying bytes.
+		r.Section(0x53494d30)
+		_ = r.U8()
+		_ = r.Bool()
+		_ = r.U32()
+		_ = r.U64()
+		_ = r.F64()
+		_ = r.U64s(-1)
+		_ = r.I32s(-1)
+		_ = r.U8s(-1)
+		_ = r.F64s(-1)
+		dst := make([]uint64, 4)
+		r.U64sInto(dst)
+		_ = r.Len()
+		_ = r.Close()
+	})
+}

@@ -1,0 +1,160 @@
+// Statistical calibration of interval sampling: for a matrix of
+// committed exact runs (app x scheme), sampled estimates across many
+// interval-selection seeds must bracket the exact values at no worse
+// than the nominal CI miss rate, while doing at least 5x less detailed
+// work. Everything here is deterministic — the same seeds select the
+// same intervals forever — so this is a regression gate, not a flaky
+// statistical assertion: if it fails, the estimator (or the simulator
+// underneath it) changed.
+package core_test
+
+import (
+	"testing"
+
+	"twig/internal/core"
+	"twig/internal/sampling"
+	"twig/internal/workload"
+)
+
+const (
+	calWindow = 1_000_000
+	calWarm   = 100_000
+)
+
+// calSpec returns the calibration sampling spec for one selection
+// seed (seed 0 = systematic selection). Many short intervals beat few
+// long ones here: these request-mix workloads are bursty (a rare slow
+// request type dominates total cycles), so coverage needs enough
+// measured intervals spread across the window to catch the bursts and
+// give the t-interval honest width. Detailed work is 20 x (5k + 2k) =
+// 140k of a 1.1M-instruction run — a 7.9x reduction.
+func calSpec(seed uint64) sampling.Spec {
+	return sampling.Spec{
+		Interval:   5_000, // 200 intervals per window
+		Period:     10,    // 20 measured
+		Warmup:     2_000,
+		Seed:       seed,
+		Confidence: 0.95,
+	}
+}
+
+// TestSamplingCalibrationMatrix sweeps apps x schemes x selection
+// seeds. Each sampled run must (a) reduce detailed work at least 5x
+// and (b) produce IPC and MPKI intervals that contain the exact run's
+// value. A small number of misses is the statistical contract of a 95%
+// interval, so the test bounds the empirical miss rate rather than
+// demanding perfection — but every miss is reported with its
+// (app, scheme, seed) tuple so a systematic estimator bug (all seeds
+// missing on one point) is immediately visible.
+func TestSamplingCalibrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a calibration matrix")
+	}
+	apps := []workload.App{workload.Drupal, workload.Kafka}
+	schemeNames := []string{"baseline", "twig"}
+	seeds := []uint64{0, 1, 2, 3, 4, 5}
+
+	opts := core.DefaultOptions()
+	opts.Pipeline.MaxInstructions = calWindow
+	opts.Pipeline.Warmup = calWarm
+
+	type miss struct {
+		app    workload.App
+		scheme string
+		seed   uint64
+		metric string
+		exact  float64
+		est    sampling.Stat
+	}
+	var misses []miss
+	checks := 0
+
+	for _, app := range apps {
+		a, err := core.BuildAndOptimize(app, 0, opts)
+		if err != nil {
+			t.Fatalf("building %s: %v", app, err)
+		}
+		for _, scheme := range schemeNames {
+			exact, err := a.RunScheme(scheme, 0, opts)
+			if err != nil {
+				t.Fatalf("%s/%s exact: %v", app, scheme, err)
+			}
+			for _, seed := range seeds {
+				sopts := opts
+				sopts.Sample = calSpec(seed)
+				est, err := a.RunSchemeSampled(scheme, 0, sopts)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", app, scheme, seed, err)
+				}
+				if est.WorkReduction < 5 {
+					t.Errorf("%s/%s seed %d: work reduction %.1fx below the 5x target",
+						app, scheme, seed, est.WorkReduction)
+				}
+				if est.Measured != 20 {
+					t.Errorf("%s/%s seed %d: measured %d intervals, want 20", app, scheme, seed, est.Measured)
+				}
+				for _, m := range []struct {
+					name  string
+					exact float64
+					est   sampling.Stat
+				}{
+					{"IPC", exact.IPC(), est.IPC},
+					{"MPKI", exact.MPKI(), est.MPKI},
+				} {
+					checks++
+					if !m.est.Contains(m.exact) {
+						misses = append(misses, miss{app, scheme, seed, m.name, m.exact, m.est})
+					}
+				}
+			}
+		}
+	}
+
+	// 95% nominal coverage over `checks` deterministic trials: allow an
+	// empirical miss rate up to 10% (double the nominal 5%) before
+	// declaring the estimator miscalibrated.
+	allowed := checks / 10
+	if len(misses) > allowed {
+		for _, m := range misses {
+			t.Errorf("(%s, %s, seed %d): exact %s %.4f outside CI [%.4f, %.4f] (value %.4f)",
+				m.app, m.scheme, m.seed, m.metric, m.exact, m.est.Lo, m.est.Hi, m.est.Value)
+		}
+		t.Errorf("calibration: %d of %d intervals missed their exact value (allowed %d)",
+			len(misses), checks, allowed)
+	} else {
+		t.Logf("calibration: %d of %d intervals missed (allowed %d)", len(misses), checks, allowed)
+	}
+}
+
+// TestSampledSchemeDeterminism pins that the sampled estimate is a
+// pure function of (app, scheme, input, options): two runs through the
+// core entry point must agree exactly, and the estimate must echo its
+// spec (the property the cache hash relies on).
+func TestSampledSchemeDeterminism(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Pipeline.MaxInstructions = calWindow
+	opts.Pipeline.Warmup = calWarm
+	opts.Sample = calSpec(7)
+
+	a, err := core.BuildAndOptimize(workload.Drupal, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := a.RunSchemeSampled("baseline", 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := a.RunSchemeSampled("baseline", 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *e1 != *e2 {
+		t.Fatalf("sampled runs diverged:\n%+v\n%+v", e1, e2)
+	}
+	if e1.Spec != opts.Sample {
+		t.Fatalf("estimate echoes spec %+v, want %+v", e1.Spec, opts.Sample)
+	}
+	if _, err := a.RunSchemeSampled("baseline", 0, core.DefaultOptions()); err == nil {
+		t.Fatal("sampled run with a disabled spec accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"twig/internal/prefetcher"
 	"twig/internal/profile"
 	"twig/internal/program"
+	"twig/internal/sampling"
 	"twig/internal/twigopt"
 	"twig/internal/workload"
 )
@@ -57,6 +58,10 @@ type Options struct {
 	// execution than any simulated window, and rarely-missing branches
 	// need enough samples to earn a prefetch site.
 	ProfileInstructions int64
+	// Sample configures interval-sampled evaluation (RunSchemeSampled).
+	// The zero value means exact simulation; exact entry points ignore
+	// it entirely, so setting it never perturbs RunScheme results.
+	Sample sampling.Spec
 }
 
 // DefaultOptions returns the paper's operating point.

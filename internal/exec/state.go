@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"fmt"
+
+	"twig/internal/checkpoint"
+)
+
+// Executor checkpoint section tag ("EXEC").
+const secExec = 0x45584543
+
+// SaveState serializes the interpreter's resumable state: the PRNG,
+// the call stack, the current layout index and the step count. The
+// program and request mix are construction parameters and are not
+// part of the state.
+func (e *Executor) SaveState(w *checkpoint.Writer) error {
+	w.Section(secExec)
+	st := e.rnd.State()
+	w.U64(st[0])
+	w.U64(st[1])
+	w.U64(st[2])
+	w.U64(st[3])
+	w.I32s(e.stack)
+	w.U32(uint32(e.cur))
+	w.I64(e.steps)
+	return nil
+}
+
+// RestoreState restores state saved by SaveState into an executor
+// constructed over the same program and input.
+func (e *Executor) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secExec)
+	var st [4]uint64
+	st[0] = r.U64()
+	st[1] = r.U64()
+	st[2] = r.U64()
+	st[3] = r.U64()
+	stack := r.I32s(-1)
+	cur := int32(r.U32())
+	steps := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if int(cur) >= len(e.p.Instrs) || cur < 0 {
+		return errOutOfRange("exec: checkpoint current index", int64(cur))
+	}
+	e.rnd.SetState(st)
+	// Keep the slab-friendly capacity New allocates when the saved
+	// stack fits in it.
+	e.stack = append(e.stack[:0], stack...)
+	e.cur = cur
+	e.steps = steps
+	return nil
+}
+
+func errOutOfRange(what string, v int64) error {
+	return fmt.Errorf("%s out of range: %d", what, v)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"twig/internal/runner"
+	"twig/internal/telemetry"
+	"twig/internal/workload"
+)
+
+// sampledRun executes the "sampled" experiment on a fresh runner with
+// the given worker count and cache, returning the rendered output and
+// the canonicalized run ledger.
+func sampledRun(t *testing.T, workers int, cache *runner.Cache) (string, []byte) {
+	t.Helper()
+	led := telemetry.NewLedger()
+	var out bytes.Buffer
+	ctx := NewContext(&out, 40_000)
+	ctx.Apps = []workload.App{workload.Verilator}
+	ctx.SetRunner(runner.New(runner.Options{Workers: workers, Ledger: led, Cache: cache}))
+	e, ok := ByID("sampled")
+	if !ok {
+		t.Fatal("registry missing the sampled experiment")
+	}
+	if err := ctx.RunOne(e); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := led.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := telemetry.CanonicalizeJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ledger invalid: %v\n%s", err, buf.Bytes())
+	}
+	return out.String(), canon
+}
+
+// TestSampledExperimentDeterministicAcrossWorkers is the sampled slice
+// of the j1-vs-j8 oracle: the experiment's rendered table and its
+// canonical ledger must be byte-identical on 1 and 8 workers.
+func TestSampledExperimentDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates sampled and exact windows twice")
+	}
+	out1, led1 := sampledRun(t, 1, nil)
+	out8, led8 := sampledRun(t, 8, nil)
+	if out1 != out8 {
+		t.Errorf("sampled output differs across worker counts\n--- j1 ---\n%s--- j8 ---\n%s", out1, out8)
+	}
+	if !bytes.Equal(led1, led8) {
+		t.Errorf("sampled ledgers differ across worker counts\n--- j1 ---\n%s--- j8 ---\n%s", led1, led8)
+	}
+	for _, want := range []string{"spec: interval=", "work red.", "verilator"} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("sampled output lacks %q:\n%s", want, out1)
+		}
+	}
+}
+
+// TestSampledAndCheckpointJobsCacheAddressable pins the runner wiring:
+// sampled estimates and checkpoints are content-addressed cache
+// entries, so a warm rerun replays both without executing a single
+// simulation — and a checkpoint pulled from the cache resumes to the
+// exact result of an uninterrupted run.
+func TestSampledAndCheckpointJobsCacheAddressable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a window plus a sampled estimate twice")
+	}
+	cache, err := runner.OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.Verilator
+	const at = 30_000
+
+	cold := NewContext(&bytes.Buffer{}, 40_000)
+	cold.Apps = []workload.App{app}
+	cold.SetRunner(runner.New(runner.Options{Workers: 2, Cache: cache}))
+	estCold, err := cold.Sampled(app, 0, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptCold, err := cold.Checkpoint(app, 0, "baseline", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Runner().Stats(); s.SimRuns == 0 {
+		t.Fatalf("cold run executed no sampled simulations: %+v", s)
+	}
+
+	warm := NewContext(&bytes.Buffer{}, 40_000)
+	warm.Apps = []workload.App{app}
+	warm.SetRunner(runner.New(runner.Options{Workers: 2, Cache: cache}))
+	estWarm, err := warm.Sampled(app, 0, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptWarm, err := warm.Checkpoint(app, 0, "baseline", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Runner().Stats()
+	if s.SimRuns != 0 || s.SimHits == 0 {
+		t.Errorf("warm rerun executed %d sampled simulations (%d hits), want 0 (some)", s.SimRuns, s.SimHits)
+	}
+	if !reflect.DeepEqual(estCold, estWarm) {
+		t.Errorf("cache-replayed estimate differs:\ncold %+v\nwarm %+v", estCold, estWarm)
+	}
+	if !bytes.Equal(ckptCold, ckptWarm) {
+		t.Error("cache-replayed checkpoint bytes differ")
+	}
+
+	// The cached checkpoint resumes to the uninterrupted run's result.
+	a, err := warm.Artifacts(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.RunScheme("baseline", 0, warm.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ResumeScheme("baseline", 0, warm.Opts, ckptWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resume from cached checkpoint differs:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -286,6 +286,20 @@ const batchSlab = 2048
 // instruction budget is met — only possible for finite or cancelled
 // sources, never the executor or trace reader — is an error.
 func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error) {
+	sim, err := newSimulator(p, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.runTo(cfg.Warmup + cfg.MaxInstructions); err != nil {
+		return nil, err
+	}
+	return sim.finish()
+}
+
+// newSimulator validates cfg and builds a simulator positioned at the
+// start of the stream, with telemetry attached and the measured phase
+// already open when there is no warmup.
+func newSimulator(p *program.Program, src exec.Source, cfg Config) (*simulator, error) {
 	if cfg.Width <= 0 || cfg.FTQSize <= 0 || cfg.ROBSize <= 0 || cfg.MaxInstructions <= 0 {
 		return nil, fmt.Errorf("pipeline: non-positive structural parameter in config")
 	}
@@ -315,8 +329,36 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 	sim.inflight.Grow(64)
 	scheme.Attach(sim)
 	sim.setupTelemetry()
-	if err := sim.run(); err != nil {
-		return nil, err
+	sim.lastLine = ^uint64(0)
+	sim.pendIssue = -1
+	// Warmup: run the machine without counting. At the boundary,
+	// accumulated statistics are snapshotted and subtracted afterwards
+	// (structures keep their warmed state; only the numbers reset).
+	sim.warmed = cfg.Warmup <= 0
+	if sim.warmed {
+		sim.telBegin()
+	}
+	return sim, nil
+}
+
+// finish closes the run — final invariants, the closing epoch tick,
+// telemetry teardown — and assembles the measured window's
+// statistics, subtracting whatever accumulated during warmup.
+func (sim *simulator) finish() (*Result, error) {
+	cfg := &sim.cfg
+	if invariantsEnabled {
+		sim.invariantFinal()
+	}
+	sim.res.Cycles = sim.retireC
+	// Final partial epoch, so the series always covers the full run.
+	if sim.tel != nil && sim.tel.epochLen > 0 {
+		hooks := cfg.Hooks
+		if !sim.warmed {
+			hooks = Hooks{}
+		}
+		if mi := sim.res.Original - cfg.Warmup; mi > sim.tel.lastTick {
+			sim.telTick(&hooks, mi)
+		}
 	}
 	sim.telEnd()
 	if t := cfg.Telemetry.Tracer; t != nil {
@@ -325,8 +367,6 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 		}
 	}
 
-	// Assemble the measured window's statistics, subtracting whatever
-	// accumulated during warmup.
 	res := sim.res
 	w := &sim.warmSnap
 	res.Instructions -= w.Instructions
@@ -343,12 +383,12 @@ func RunSource(p *program.Program, src exec.Source, cfg Config) (*Result, error)
 	res.MissLeadSum -= w.MissLeadSum
 	res.Cycles -= sim.warmCycles
 
-	res.BTB = *scheme.Stats()
+	res.BTB = *sim.scheme.Stats()
 	for k := range res.BTB.Accesses {
 		res.BTB.Accesses[k] -= sim.warmBTB.Accesses[k]
 		res.BTB.Misses[k] -= sim.warmBTB.Misses[k]
 	}
-	pf := scheme.PrefetchStats()
+	pf := sim.scheme.PrefetchStats()
 	res.Prefetch = prefetcher.PrefetchStats{
 		Issued:    pf.Issued - sim.warmPf.Issued,
 		Used:      pf.Used - sim.warmPf.Used,
@@ -427,6 +467,10 @@ type simulator struct {
 
 	res Result
 
+	// warmed is false until the run crosses cfg.Warmup original
+	// instructions; hooks and telemetry observe only the warmed window.
+	warmed bool
+
 	// Warmup-boundary snapshots, subtracted from the final statistics.
 	warmSnap              Result
 	warmBTB               btb.Stats
@@ -447,39 +491,29 @@ func (s *simulator) PrefetchLine(line uint64, cycle float64) {
 // Program implements prefetcher.Frontend.
 func (s *simulator) Program() *program.Program { return s.p }
 
-func (s *simulator) run() error {
+// runTo advances the detailed simulation until total original
+// instructions have been consumed since construction (warmup
+// included). It is incremental: calling runTo(a) then runTo(b) is
+// identical to a single runTo(b), which is what makes checkpointed
+// resume and interval sampling exact. A target at or below the
+// current position is a no-op.
+func (s *simulator) runTo(total int64) error {
 	cfg := &s.cfg
 	p := s.p
 	slot := 1 / cfg.Width
-	s.lastLine = ^uint64(0)
-	s.pendIssue = -1
-
-	// Warmup: run the machine without counting. At the boundary,
-	// accumulated statistics are snapshotted and subtracted afterwards
-	// (structures keep their warmed state; only the numbers reset).
-	warmed := cfg.Warmup <= 0
 
 	hooks := cfg.Hooks
-	if !warmed {
+	if !s.warmed {
 		hooks = Hooks{} // hooks observe only the measured window
-	} else {
-		s.telBegin()
 	}
-	total := cfg.Warmup + cfg.MaxInstructions
 	var clocks clockSnap
 	for s.res.Original < total {
 		if invariantsEnabled {
 			clocks = s.invariantSnap()
 		}
-		if !warmed && s.res.Original >= cfg.Warmup {
-			warmed = true
+		if !s.warmed && s.res.Original >= cfg.Warmup {
+			s.warmBoundary()
 			hooks = cfg.Hooks
-			s.warmSnap = s.res
-			s.warmBTB = *s.scheme.Stats()
-			s.warmPf = s.scheme.PrefetchStats()
-			s.warmL1Acc, s.warmL1Miss = s.hier.L1.Accesses, s.hier.L1.Misses
-			s.warmCycles = s.retireC
-			s.telBegin()
 		}
 		if s.batchPos == s.batchLen {
 			// Refill the slab. Ask for exactly the instructions still
@@ -557,7 +591,7 @@ func (s *simulator) run() error {
 					if hooks.OnPrefetch != nil {
 						hooks.OnPrefetch(PrefetchLate, in.PC, s.bpuC)
 					}
-					if s.tel != nil && warmed {
+					if s.tel != nil && s.warmed {
 						s.tel.pfLate.Observe(res.LateBy)
 					}
 				}
@@ -667,7 +701,7 @@ func (s *simulator) run() error {
 				if hooks.OnICacheMiss != nil {
 					hooks.OnICacheMiss(line, lead, fstart)
 				}
-				if s.tel != nil && warmed {
+				if s.tel != nil && s.warmed {
 					s.tel.missLead.Observe(lead)
 				}
 				if s.trace != nil {
@@ -850,7 +884,7 @@ func (s *simulator) run() error {
 		}
 
 		// ---- Epoch boundary ----------------------------------------------
-		if s.tel != nil && warmed && s.tel.epochLen > 0 {
+		if s.tel != nil && s.warmed && s.tel.epochLen > 0 {
 			if mi := s.res.Original - cfg.Warmup; mi >= s.tel.nextTick {
 				s.telTick(&hooks, mi)
 				s.tel.nextTick += s.tel.epochLen
@@ -861,17 +895,21 @@ func (s *simulator) run() error {
 			s.invariantStep(clocks, bpuTime)
 		}
 	}
-	if invariantsEnabled {
-		s.invariantFinal()
-	}
-	s.res.Cycles = s.retireC
-	// Final partial epoch, so the series always covers the full run.
-	if s.tel != nil && s.tel.epochLen > 0 {
-		if mi := s.res.Original - cfg.Warmup; mi > s.tel.lastTick {
-			s.telTick(&hooks, mi)
-		}
-	}
 	return nil
+}
+
+// warmBoundary crosses from warmup into the measured window:
+// accumulated statistics are snapshotted for later subtraction
+// (structures keep their warmed state; only the numbers reset) and the
+// measured telemetry phase opens.
+func (s *simulator) warmBoundary() {
+	s.warmed = true
+	s.warmSnap = s.res
+	s.warmBTB = *s.scheme.Stats()
+	s.warmPf = s.scheme.PrefetchStats()
+	s.warmL1Acc, s.warmL1Miss = s.hier.L1.Accesses, s.hier.L1.Misses
+	s.warmCycles = s.retireC
+	s.telBegin()
 }
 
 func (s *simulator) flushFTQ() {

@@ -1,0 +1,18 @@
+package rng
+
+// State returns the generator's raw xoshiro256** state, for
+// checkpointing. Restoring it with SetState resumes the exact
+// sequence.
+func (r *Rand) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState overwrites the generator's state with a value previously
+// returned by State. The all-zero state is a xoshiro fixed point and
+// is rejected by substituting the same guard value New uses.
+func (r *Rand) SetState(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}

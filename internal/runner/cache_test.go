@@ -10,6 +10,7 @@ import (
 
 	"twig/internal/core"
 	"twig/internal/pipeline"
+	"twig/internal/sampling"
 	"twig/internal/telemetry"
 )
 
@@ -57,6 +58,38 @@ func TestHashSensitivity(t *testing.T) {
 	}
 	if HashDerived("twig/cassandra/0", o) == base {
 		t.Error("sim and derived namespaces must not collide")
+	}
+}
+
+// TestCanonicalOptionsStableWithZeroSample pins that adding the
+// sampling spec to core.Options did not shift existing content hashes:
+// a zero-valued Sample renders exactly as before the field existed, so
+// warm caches written by older binaries stay valid. (The golden
+// fixtures above enforce the same property end to end; this test pins
+// the mechanism so the next new Options field copies it.)
+func TestCanonicalOptionsStableWithZeroSample(t *testing.T) {
+	o := core.DefaultOptions()
+	if s := CanonicalOptions(o); strings.Contains(s, "ivs{") {
+		t.Errorf("zero-valued Sample leaked into the canonical encoding: %s", s)
+	}
+	withSpec := o
+	withSpec.Sample = sampling.Spec{Interval: 10_000, Period: 4}
+	if s := CanonicalOptions(withSpec); !strings.Contains(s, "ivs{") {
+		t.Errorf("non-zero Sample missing from the canonical encoding: %s", s)
+	}
+	if HashSim("twig/cassandra/0", o) == HashSim("twig/cassandra/0", withSpec) {
+		t.Error("sampling spec must reach the content hash")
+	}
+	if HashSampled("sampled/twig/cassandra/0", withSpec) == HashSim("sampled/twig/cassandra/0", withSpec) {
+		t.Error("sampled and sim namespaces must not collide")
+	}
+	seeded := withSpec
+	seeded.Sample.Seed = 1
+	if HashSampled("sampled/twig/cassandra/0", withSpec) == HashSampled("sampled/twig/cassandra/0", seeded) {
+		t.Error("different interval-selection seeds must hash differently")
+	}
+	if HashCheckpoint("ckpt/base/cassandra/0", 1000, o) == HashCheckpoint("ckpt/base/cassandra/0", 2000, o) {
+		t.Error("checkpoint position must reach the content hash")
 	}
 }
 

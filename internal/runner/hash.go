@@ -7,6 +7,7 @@ import (
 
 	"twig/internal/core"
 	"twig/internal/pipeline"
+	"twig/internal/sampling"
 	"twig/internal/workload"
 )
 
@@ -33,8 +34,16 @@ func CanonicalOptions(o core.Options) string {
 	p.Hooks = pipeline.Hooks{}
 	epoch := p.Telemetry.EpochLength
 	p.Telemetry = pipeline.Telemetry{}
-	return fmt.Sprintf("pipeline{%+v}|epoch=%d|btb{%+v}|opt{%+v}|pbuf=%d|sample=%d|profins=%d",
+	s := fmt.Sprintf("pipeline{%+v}|epoch=%d|btb{%+v}|opt{%+v}|pbuf=%d|sample=%d|profins=%d",
 		p, epoch, o.BTB, o.Opt, o.PrefetchBuffer, o.SampleRate, o.ProfileInstructions)
+	// The interval-sampling spec is appended only when set: exact runs
+	// ignore it entirely, and the unconditional rendering would shift
+	// every existing content hash, invalidating warm caches wholesale.
+	// TestCanonicalOptionsStableWithZeroSample pins this.
+	if o.Sample != (sampling.Spec{}) {
+		s += fmt.Sprintf("|ivs{%+v}", o.Sample)
+	}
+	return s
 }
 
 // Cacheable reports whether runs under these options may be served
@@ -70,4 +79,20 @@ func HashProfile(app workload.App, trainInput int, opts core.Options) string {
 // HashDerived returns the content hash of a derived-statistic job.
 func HashDerived(key string, opts core.Options) string {
 	return hash("v1", SimVersion, "derived", key, CanonicalOptions(opts))
+}
+
+// HashSampled returns the content hash of one interval-sampled
+// evaluation. The sampling spec is part of CanonicalOptions (it is
+// non-zero whenever a sampled job exists), so distinct specs get
+// distinct hashes; the separate stage tag keeps sampled estimates from
+// ever colliding with exact results for the same key.
+func HashSampled(key string, opts core.Options) string {
+	return hash("v1", SimVersion, "sampled", key, CanonicalOptions(opts))
+}
+
+// HashCheckpoint returns the content hash of a simulator checkpoint
+// taken at the given instruction position.
+func HashCheckpoint(key string, at int64, opts core.Options) string {
+	return hash("v1", SimVersion, "checkpoint",
+		fmt.Sprintf("%s@%d", key, at), CanonicalOptions(opts))
 }

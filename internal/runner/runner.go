@@ -43,6 +43,13 @@ const (
 	// KindDerived is a job whose payload is a derived statistic that
 	// internally runs a simulation or execution walk.
 	KindDerived
+	// KindSampled is an interval-sampled evaluation producing a
+	// sampling.Estimate. It counts toward the simulation telemetry
+	// bucket: a sampled run stands in for an exact one.
+	KindSampled
+	// KindCheckpoint is a job whose payload is a serialized simulator
+	// checkpoint (raw checkpoint envelope bytes).
+	KindCheckpoint
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +61,10 @@ func (k Kind) String() string {
 		return "profile"
 	case KindDerived:
 		return "derived"
+	case KindSampled:
+		return "sampled"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return "other"
 	}

@@ -38,7 +38,10 @@ type counters struct {
 func (c *counters) hit(k Kind) {
 	c.Done.Add(1)
 	switch k {
-	case KindSim:
+	case KindSim, KindSampled:
+		// Sampled evaluations stand in for exact simulations, so they
+		// share the sims bucket and the "zero sims on a warm rerun"
+		// assertions cover them too.
 		c.SimHits.Add(1)
 	case KindProfile:
 		c.ProfileHits.Add(1)
@@ -51,7 +54,7 @@ func (c *counters) hit(k Kind) {
 
 func (c *counters) ran(k Kind) {
 	switch k {
-	case KindSim:
+	case KindSim, KindSampled:
 		c.SimRuns.Add(1)
 	case KindProfile:
 		c.ProfileRuns.Add(1)

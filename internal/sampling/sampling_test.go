@@ -1,0 +1,211 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"twig/internal/btb"
+	"twig/internal/exec"
+	"twig/internal/pipeline"
+	"twig/internal/prefetcher"
+	"twig/internal/program"
+)
+
+// testProgram builds a small dispatcher-loop program exercising
+// conditionals, calls, returns and an indirect call.
+func testProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder(0x400000)
+	main := b.NewFunc()
+
+	h := b.NewFunc()
+	b0 := h.NewBlock()
+	b0.Regular(4)
+	b0.Cond(1, 128, false)
+	b1 := h.NewBlock()
+	b1.Regular(4)
+	b1.Call(2)
+	b2 := h.NewBlock()
+	b2.Regular(3)
+	b2.Cond(2, 180, true)
+	b3 := h.NewBlock()
+	b3.Return()
+
+	leaf := b.NewFunc()
+	lb := leaf.NewBlock()
+	lb.Regular(5)
+	lb.Return()
+
+	set := b.AddIndirectSet([]int32{h.Index}, nil)
+	m0 := main.NewBlock()
+	m0.Regular(4)
+	m0.IndirectCall(set, true)
+	m1 := main.NewBlock()
+	m1.Jump(0)
+
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testConfig(n int64) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = n
+	cfg.BackendCPI = 0.4
+	cfg.CondMispredictRate = 0.005
+	cfg.Scheme = prefetcher.NewBaseline(btb.DefaultConfig(), 0, false)
+	return cfg
+}
+
+func TestSelectIntervalsSystematic(t *testing.T) {
+	picks := selectIntervals(10, Spec{Interval: 1, Period: 3})
+	want := []int{1, 4, 7}
+	if !reflect.DeepEqual(picks, want) {
+		t.Fatalf("systematic picks %v, want %v", picks, want)
+	}
+}
+
+func TestSelectIntervalsRandom(t *testing.T) {
+	spec := Spec{Interval: 1, Period: 4, Seed: 42}
+	a := selectIntervals(40, spec)
+	b := selectIntervals(40, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("seeded selection is not deterministic")
+	}
+	if len(a) != 10 {
+		t.Fatalf("selected %d intervals, want 10", len(a))
+	}
+	seen := map[int]bool{}
+	for i, v := range a {
+		if v < 0 || v >= 40 || seen[v] {
+			t.Fatalf("invalid or duplicate index %d", v)
+		}
+		seen[v] = true
+		if i > 0 && a[i-1] >= v {
+			t.Fatal("picks not in ascending order")
+		}
+	}
+	if c := selectIntervals(40, Spec{Interval: 1, Period: 4, Seed: 43}); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical selections")
+	}
+}
+
+func TestSampledRunEstimates(t *testing.T) {
+	p := testProgram(t)
+	cfg := testConfig(400_000)
+	cfg.Warmup = 50_000
+	spec := Spec{Interval: 10_000, Period: 8, Warmup: 2_000}
+
+	est, err := Run(p, exec.Input{Seed: 5}, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Intervals != 40 || est.Measured != 5 {
+		t.Fatalf("intervals %d measured %d, want 40/5", est.Intervals, est.Measured)
+	}
+	if est.IPC.Value <= 0 || est.IPC.Lo > est.IPC.Value || est.IPC.Hi < est.IPC.Value {
+		t.Fatalf("malformed IPC stat %+v", est.IPC)
+	}
+	if est.MPKI.Value < 0 || est.MPKI.Lo > est.MPKI.Value || est.MPKI.Hi < est.MPKI.Value {
+		t.Fatalf("malformed MPKI stat %+v", est.MPKI)
+	}
+	if est.WorkReduction < 5 {
+		t.Fatalf("work reduction %.1fx below the 5x target", est.WorkReduction)
+	}
+	if est.DetailedInstructions >= est.TotalInstructions {
+		t.Fatal("sampling did not reduce detailed work")
+	}
+
+	// Determinism: the same spec measures the same intervals and
+	// produces the identical estimate.
+	est2, err := Run(p, exec.Input{Seed: 5}, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(est, est2) {
+		t.Fatal("sampled runs with identical inputs diverged")
+	}
+}
+
+// close reports whether a sampled stat agrees with an exact value:
+// the CI contains it, or the point estimate is within 2% (degenerate
+// near-zero-width intervals on highly stationary workloads).
+func close(s Stat, exact float64) bool {
+	if s.Contains(exact) {
+		return true
+	}
+	scale := math.Abs(exact)
+	if scale < 1e-9 {
+		scale = 1e-9
+	}
+	return math.Abs(s.Value-exact)/scale < 0.02
+}
+
+// TestSampledCIContainsExact is the package-level calibration smoke:
+// the sampled 95% interval should contain the exact run's value for
+// this well-behaved stationary workload. Both runs warm up for the
+// same 50k instructions so cold-start transients (which sampling, by
+// construction, never measures) are excluded from the exact window
+// too. (The full multi-seed calibration matrix lives in
+// internal/core.)
+func TestSampledCIContainsExact(t *testing.T) {
+	p := testProgram(t)
+	cfg := testConfig(400_000)
+	cfg.Warmup = 50_000
+	exact, err := pipeline.Run(p, exec.Input{Seed: 6}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := testConfig(400_000)
+	cfg2.Warmup = 50_000
+	spec := Spec{Interval: 10_000, Period: 4, Warmup: 2_500, Seed: 9}
+	est, err := Run(p, exec.Input{Seed: 6}, cfg2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(est.IPC, exact.IPC()) {
+		t.Errorf("exact IPC %.4f outside sampled CI [%.4f, %.4f]", exact.IPC(), est.IPC.Lo, est.IPC.Hi)
+	}
+	if !close(est.MPKI, exact.MPKI()) {
+		t.Errorf("exact MPKI %.3f outside sampled CI [%.3f, %.3f]", exact.MPKI(), est.MPKI.Lo, est.MPKI.Hi)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	p := testProgram(t)
+	cfg := testConfig(100_000)
+	for _, spec := range []Spec{
+		{Interval: 0, Period: 4},
+		{Interval: 10_000, Period: 0},
+		{Interval: 10_000, Period: 4, Warmup: -1},
+		{Interval: 10_000, Period: 4, Confidence: 0.5},
+		{Interval: 90_000, Period: 2}, // only one whole interval
+	} {
+		if _, err := Run(p, exec.Input{Seed: 1}, cfg, spec); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+}
+
+func TestTCriticalMonotonic(t *testing.T) {
+	for _, conf := range []float64{0.90, 0.95, 0.99} {
+		prev := tCritical(conf, 1)
+		for df := 2; df < 200; df++ {
+			cur := tCritical(conf, df)
+			if cur > prev {
+				t.Fatalf("t(%g, %d) = %g > t(%g, %d) = %g", conf, df, cur, conf, df-1, prev)
+			}
+			prev = cur
+		}
+	}
+	if tCritical(0.95, 10) <= tCritical(0.90, 10) || tCritical(0.99, 10) <= tCritical(0.95, 10) {
+		t.Fatal("critical values not increasing in confidence")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"twig/internal/metrics"
 	"twig/internal/pipeline"
 	"twig/internal/runner"
+	"twig/internal/sampling"
 	"twig/internal/telemetry"
 	"twig/internal/workload"
 )
@@ -115,7 +116,34 @@ type Config struct {
 	// cache replays the whole matrix — including training profiles —
 	// without executing a single simulation.
 	CacheDir string
+	// Sample configures interval-sampled estimation (System.Sampled):
+	// instead of simulating the whole window in detail, measured
+	// intervals are simulated exactly and everything between is
+	// functionally fast-forwarded, yielding IPC/MPKI/coverage estimates
+	// with confidence intervals at a fraction of the work. The zero
+	// value disables sampling; exact runs never consult it.
+	Sample SampleConfig
 }
+
+// SampleConfig mirrors internal/sampling.Spec on the public facade.
+type SampleConfig struct {
+	// Interval is the measured interval length in instructions.
+	Interval int64
+	// Period measures one interval of every Period (sampled fraction
+	// 1/Period).
+	Period int
+	// Seed, when non-zero, picks measured intervals uniformly at random
+	// (seeded, deterministic); zero picks systematically.
+	Seed uint64
+	// Warmup is the detailed per-interval warmup in instructions.
+	Warmup int64
+	// Confidence is the two-sided CI level: 0.90, 0.95 or 0.99 (zero
+	// means 0.95).
+	Confidence float64
+}
+
+// Enabled reports whether the configuration requests sampling.
+func (c SampleConfig) Enabled() bool { return c.Interval > 0 && c.Period > 0 }
 
 // DefaultConfig returns the paper's operating point with a window sized
 // for interactive use.
@@ -155,6 +183,13 @@ func (c Config) options() core.Options {
 	}
 	if c.TraceWriter != nil {
 		opts.Telemetry.Tracer = telemetry.NewTracer(c.TraceWriter)
+	}
+	opts.Sample = sampling.Spec{
+		Interval:   c.Sample.Interval,
+		Period:     c.Sample.Period,
+		Seed:       c.Sample.Seed,
+		Warmup:     c.Sample.Warmup,
+		Confidence: c.Sample.Confidence,
 	}
 	return opts
 }
@@ -483,6 +518,76 @@ func (s *System) RunSchemes(input int, names ...string) (map[string]Result, erro
 		out[name] = res
 	}
 	return out, nil
+}
+
+// Stat is a point estimate with a two-sided confidence interval.
+type Stat struct {
+	Value, Lo, Hi float64
+}
+
+// Contains reports whether v lies within the interval.
+func (s Stat) Contains(v float64) bool { return v >= s.Lo && v <= s.Hi }
+
+// SampledResult is the estimate a sampled run produces in place of a
+// Result: point estimates with confidence intervals, plus how much
+// detailed-simulation work the sampling saved.
+type SampledResult struct {
+	// Intervals is the number of whole intervals the window divides
+	// into; Measured of them were simulated in detail.
+	Intervals, Measured int
+	// Confidence is the effective CI level of the intervals.
+	Confidence float64
+	// WorkReduction is total window instructions over detailed
+	// instructions — the sampling speedup, deterministic and
+	// machine-independent.
+	WorkReduction float64
+	// IPC, BTBMPKI and Coverage estimate the exact run's IPC,
+	// direct-branch BTB MPKI, and prefetch coverage fraction.
+	IPC, BTBMPKI, Coverage Stat
+}
+
+// Sampled estimates one named scheme's run (see SchemeNames) with
+// interval sampling per Config.Sample. The estimate's confidence
+// intervals are calibrated against exact runs by the test suite; see
+// TESTING.md.
+func (s *System) Sampled(scheme string, input int) (SampledResult, error) {
+	if !s.opts.Sample.Enabled() {
+		return SampledResult{}, fmt.Errorf("twig: sampling not configured (set Config.Sample)")
+	}
+	est, err := s.art.RunSchemeSampled(scheme, input, s.opts)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	mirror := func(st sampling.Stat) Stat { return Stat{Value: st.Value, Lo: st.Lo, Hi: st.Hi} }
+	return SampledResult{
+		Intervals:     est.Intervals,
+		Measured:      est.Measured,
+		Confidence:    est.Confidence,
+		WorkReduction: est.WorkReduction,
+		IPC:           mirror(est.IPC),
+		BTBMPKI:       mirror(est.MPKI),
+		Coverage:      mirror(est.Coverage),
+	}, nil
+}
+
+// Checkpoint simulates one named scheme up to `at` instructions
+// (counted from the start of the run, warmup included) and returns the
+// serialized simulator state — a versioned, CRC-protected envelope.
+// Resume continues it to completion. Checkpoints capture simulator
+// state only, never telemetry observers.
+func (s *System) Checkpoint(scheme string, input int, at int64) ([]byte, error) {
+	return s.art.CheckpointScheme(scheme, input, s.opts, at)
+}
+
+// Resume restores a Checkpoint taken under the same configuration,
+// scheme and input, and runs the remainder of the window. The result
+// is bit-identical to the corresponding uninterrupted run.
+func (s *System) Resume(scheme string, input int, data []byte) (Result, error) {
+	r, err := s.art.ResumeScheme(scheme, input, s.opts, data)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(r), nil
 }
 
 // Analysis summarizes the offline analysis for this system.
