@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check docs fuzz cover bench bench-check bench-update experiments ledger-demo clean
+.PHONY: all build test race vet fmt check docs fuzz cover bench bench-check bench-update experiments ledger-demo fleet-demo clean
 
 all: vet build test
 
@@ -87,6 +87,26 @@ ledger-demo:
 		-ledger twig-ledger.jsonl -perfetto twig-trace.json
 	$(GO) test ./internal/telemetry -run TestLedgerFileValidates \
 		-args -ledger-file=$(CURDIR)/twig-ledger.jsonl -trace-file=$(CURDIR)/twig-trace.json
+
+# fleet-demo boots a local fleet — one coordinator, two workers — runs
+# an experiment slice distributed over it, then reruns with a fresh
+# local cache: the rerun replays everything from the fleet's shared
+# store (the runner line reports 0 sims run). Watch it live with
+# `go run ./cmd/twigtop -url http://127.0.0.1:9090`; see DESIGN.md §12.
+fleet-demo:
+	$(GO) build -o /tmp/twigd-demo ./cmd/twigd
+	$(GO) build -o /tmp/twigworker-demo ./cmd/twigworker
+	@/tmp/twigd-demo -listen 127.0.0.1:9090 & coord=$$!; \
+	sleep 1; \
+	/tmp/twigworker-demo -coordinator http://127.0.0.1:9090 -name w1 -cache "" & w1=$$!; \
+	/tmp/twigworker-demo -coordinator http://127.0.0.1:9090 -name w2 -cache "" & w2=$$!; \
+	trap 'kill $$coord $$w1 $$w2 2>/dev/null || true' EXIT; \
+	$(GO) run ./cmd/experiments -only fig1,fig16 -apps verilator,kafka \
+		-instructions 200000 -j 4 -cache "" \
+		-coordinator http://127.0.0.1:9090; \
+	$(GO) run ./cmd/experiments -only fig1,fig16 -apps verilator,kafka \
+		-instructions 200000 -j 4 -cache "" \
+		-coordinator http://127.0.0.1:9090
 
 # BENCH_pipeline.json is a committed baseline (bench-update regenerates
 # it deliberately); clean only removes derived files.

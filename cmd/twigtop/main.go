@@ -1,15 +1,24 @@
 // Command twigtop is a polling terminal dashboard over a running
-// experiments live endpoint: worker busy fractions, queue depth,
-// cache hit rate, and simulated-instruction throughput (kIPS).
+// experiments live endpoint or a twigd coordinator: worker busy
+// fractions or fleet leases, queue depth, cache hit rate, and
+// simulated-instruction throughput (kIPS).
 //
 //	experiments -listen :8080 -j 8 &
 //	twigtop -addr 127.0.0.1:8080
 //
-// twigtop polls /vars (and /series, for the throughput sparkline)
-// once per -interval, derives rates from successive snapshots, and
-// redraws the screen. -once renders a single frame without clearing
-// the terminal and exits — handy in scripts and tests. It needs two
-// polls before rates appear; counts show immediately.
+//	twigd -listen :9090 &
+//	twigtop -url http://127.0.0.1:9090
+//
+// -url accepts either kind of endpoint; twigtop probes /debug/fleet
+// once at startup and picks the fleet view when a coordinator
+// answers, the LiveServer view otherwise. The LiveServer view polls
+// /vars (and /series, for the throughput sparkline); the fleet view
+// polls /debug/fleet for queue counts, per-worker lease state and
+// kIPS, and shared-blob-store hit rates. Both derive rates from
+// successive snapshots once per -interval and redraw the screen.
+// -once renders a single frame without clearing the terminal and
+// exits — handy in scripts and tests. It needs two polls before
+// rates appear; counts show immediately.
 package main
 
 import (
@@ -26,35 +35,48 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"twig/internal/twigd"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "live endpoint address (host:port or full URL)")
+		url      = flag.String("url", "", "endpoint URL — a telemetry LiveServer or a twigd coordinator, auto-detected (overrides -addr)")
 		interval = flag.Duration("interval", time.Second, "poll period")
 		once     = flag.Bool("once", false, "render one frame (two polls, no screen clearing) and exit")
 	)
 	flag.Parse()
 
-	base := strings.TrimSuffix(*addr, "/")
+	base := *addr
+	if *url != "" {
+		base = *url
+	}
+	base = strings.TrimSuffix(base, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 
+	// A coordinator answers /debug/fleet; a LiveServer answers /vars.
+	// Probe once up front so the poll loop doesn't pay for detection.
+	next := livePoller(client, base)
+	if probeFleet(client, base) {
+		next = fleetPoller(client, base)
+	}
+
 	if *once {
-		prev, _, err := fetch(client, base)
-		if err != nil {
+		if _, err := next(); err != nil {
 			fmt.Fprintln(os.Stderr, "twigtop:", err)
 			os.Exit(1)
 		}
 		time.Sleep(*interval)
-		cur, ser, err := fetch(client, base)
+		frame, err := next()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "twigtop:", err)
 			os.Exit(1)
 		}
-		fmt.Print(render(base, prev, cur, ser))
+		fmt.Print(frame)
 		return
 	}
 
@@ -62,17 +84,15 @@ func main() {
 	defer stop()
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
-	var prev sample
 	for {
-		cur, ser, err := fetch(client, base)
+		frame, err := next()
 		// Clear screen + home cursor, then draw; on fetch errors keep
 		// the last frame's data visible and report the error below it.
 		fmt.Print("\x1b[H\x1b[2J")
 		if err != nil {
 			fmt.Printf("twigtop  %s\n\n  unreachable: %v\n", base, err)
 		} else {
-			fmt.Print(render(base, prev, cur, ser))
-			prev = cur
+			fmt.Print(frame)
 		}
 		select {
 		case <-ctx.Done():
@@ -83,11 +103,132 @@ func main() {
 	}
 }
 
+// livePoller returns a closure that polls a LiveServer once and
+// renders the frame against the previous successful sample.
+func livePoller(client *http.Client, base string) func() (string, error) {
+	var prev sample
+	return func() (string, error) {
+		cur, ser, err := fetch(client, base)
+		if err != nil {
+			return "", err
+		}
+		frame := render(base, prev, cur, ser)
+		prev = cur
+		return frame, nil
+	}
+}
+
+// fleetPoller is livePoller's twigd analogue over /debug/fleet.
+func fleetPoller(client *http.Client, base string) func() (string, error) {
+	var prev fleetSample
+	return func() (string, error) {
+		cur, err := fetchFleet(client, base)
+		if err != nil {
+			return "", err
+		}
+		frame := renderFleet(base, prev, cur)
+		prev = cur
+		return frame, nil
+	}
+}
+
+// probeFleet reports whether base is a twigd coordinator: /debug/fleet
+// answers 200 with a decodable fleet document. A LiveServer 404s.
+func probeFleet(client *http.Client, base string) bool {
+	resp, err := client.Get(base + "/debug/fleet")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var fs twigd.FleetStatus
+	return json.NewDecoder(resp.Body).Decode(&fs) == nil
+}
+
 // sample is one /vars poll: the flat metric map plus when it was taken
 // (rates are derived from deltas between successive samples).
 type sample struct {
 	at   time.Time
 	vars map[string]float64
+}
+
+// fleetSample is one /debug/fleet poll with its wall-clock timestamp;
+// per-worker kIPS is derived from instruction deltas between two of
+// these.
+type fleetSample struct {
+	at    time.Time
+	fleet *twigd.FleetStatus
+}
+
+// fetchFleet polls the coordinator's /debug/fleet document.
+func fetchFleet(client *http.Client, base string) (fleetSample, error) {
+	body, err := get(client, base+"/debug/fleet")
+	if err != nil {
+		return fleetSample{}, err
+	}
+	var fs twigd.FleetStatus
+	if err := json.Unmarshal(body, &fs); err != nil {
+		return fleetSample{}, fmt.Errorf("/debug/fleet: %w", err)
+	}
+	return fleetSample{at: time.Now(), fleet: &fs}, nil
+}
+
+// renderFleet draws one fleet frame from two successive samples. Like
+// render it is a pure function of its inputs; prev may be the zero
+// sample (first poll), in which case per-worker kIPS shows "--".
+func renderFleet(addr string, prev, cur fleetSample) string {
+	var b strings.Builder
+	f := cur.fleet
+	fmt.Fprintf(&b, "twigtop  %s  (twigd fleet, lease TTL %s)\n\n",
+		addr, time.Duration(f.LeaseTTLMs)*time.Millisecond)
+
+	q := f.Queue
+	fmt.Fprintf(&b, "queue   pending %d  leased %d  done %d  failed %d\n",
+		q.Pending, q.Leased, q.Done, q.Failed)
+
+	bl := f.Blobs
+	miss := 0.0
+	if bl.Gets > 0 {
+		miss = float64(bl.Misses) / float64(bl.Gets) * 100
+	}
+	fmt.Fprintf(&b, "blobs   %d entries, %sB  gets %d  puts %d  miss %.1f%%\n",
+		bl.Blobs, fmtCount(float64(bl.Bytes)), bl.Gets, bl.Puts, miss)
+
+	alive := 0
+	for _, w := range f.Workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	fmt.Fprintf(&b, "workers %d alive / %d registered\n", alive, len(f.Workers))
+
+	elapsedMS := 0.0
+	prevInstr := make(map[string]int64)
+	if prev.fleet != nil {
+		elapsedMS = float64(cur.at.Sub(prev.at).Milliseconds())
+		for _, w := range prev.fleet.Workers {
+			prevInstr[w.Name] = w.Instructions
+		}
+	}
+	for _, w := range f.Workers {
+		kips := math.NaN()
+		if p, ok := prevInstr[w.Name]; ok && elapsedMS > 0 {
+			kips = float64(w.Instructions-p) / elapsedMS
+		}
+		state := "dead "
+		if w.Alive {
+			state = "alive"
+		}
+		lease := w.Lease
+		if lease == "" {
+			lease = "idle"
+		}
+		fmt.Fprintf(&b, "  %-12s %s  done %d  failed %d  %s kIPS  %s\n",
+			w.Name, state, w.Done, w.Failed, fmtRate(kips), lease)
+	}
+	return b.String()
 }
 
 // seriesData mirrors the /series JSON payload.

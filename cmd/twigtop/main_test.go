@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"twig/internal/telemetry"
+	"twig/internal/twigd"
 )
 
 // frame builds two successive samples with a fixed 2-second delta and
@@ -102,6 +103,97 @@ func TestSparkline(t *testing.T) {
 	}
 	if sparkline(ser, "missing") != "" {
 		t.Fatal("missing column should render empty")
+	}
+}
+
+func TestRenderFleetFrame(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	prev := fleetSample{at: t0, fleet: &twigd.FleetStatus{
+		Workers: []twigd.WorkerStatus{
+			{Name: "w1", Alive: true, Instructions: 1_000_000},
+			{Name: "w2", Alive: true},
+		},
+	}}
+	cur := fleetSample{at: t0.Add(2 * time.Second), fleet: &twigd.FleetStatus{
+		Queue:      twigd.QueueCounts{Pending: 3, Leased: 2, Done: 9, Failed: 1},
+		Blobs:      twigd.BlobStats{Blobs: 12, Bytes: 4096, Gets: 40, Puts: 12, Misses: 10},
+		LeaseTTLMs: 15_000,
+		Workers: []twigd.WorkerStatus{
+			// Δ2,000,000 instructions over 2000 wall ms → 1000 kIPS.
+			{Name: "w1", Alive: true, Lease: "run/twig/web/0", Done: 5, Instructions: 3_000_000},
+			{Name: "w2", Alive: false, Done: 4, Failed: 1, IdleMs: 60_000},
+		},
+	}}
+	got := renderFleet("http://x", prev, cur)
+	for _, want := range []string{
+		"twigd fleet, lease TTL 15s",
+		"queue   pending 3  leased 2  done 9  failed 1",
+		"blobs   12 entries, 4.1kB  gets 40  puts 12  miss 25.0%",
+		"workers 1 alive / 2 registered",
+		"w1           alive  done 5  failed 0  1000.0 kIPS  run/twig/web/0",
+		"w2           dead   done 4  failed 1  0.0 kIPS  idle",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fleet frame lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderFleetFirstPollShowsCountsNotRates(t *testing.T) {
+	cur := fleetSample{at: time.Unix(100, 0), fleet: &twigd.FleetStatus{
+		Queue:   twigd.QueueCounts{Pending: 2},
+		Workers: []twigd.WorkerStatus{{Name: "w1", Alive: true}},
+	}}
+	got := renderFleet("http://x", fleetSample{}, cur)
+	for _, want := range []string{"pending 2", "-- kIPS"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("first fleet frame lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestProbeAndFleetPoller drives detection and the fleet poll path
+// against a real coordinator: probeFleet must pick the fleet view,
+// and the poller must render registered workers.
+func TestProbeAndFleetPoller(t *testing.T) {
+	srv := twigd.NewServer(twigd.NewMemBlobs(), time.Second)
+	addr, stop, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if !probeFleet(client, base) {
+		t.Fatal("probeFleet should detect a coordinator")
+	}
+	if _, err := twigd.NewClient(base).Register("w1", 2); err != nil {
+		t.Fatal(err)
+	}
+	next := fleetPoller(client, base)
+	frame, err := next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"twigd fleet", "w1", "1 alive / 1 registered"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("fleet poll frame lacks %q:\n%s", want, frame)
+		}
+	}
+}
+
+// TestProbeAgainstLiveServer pins the other side of detection: a
+// LiveServer must not be mistaken for a coordinator.
+func TestProbeAgainstLiveServer(t *testing.T) {
+	live := telemetry.NewLiveServer()
+	addr, stop, err := live.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if probeFleet(&http.Client{Timeout: 5 * time.Second}, "http://"+addr) {
+		t.Fatal("probeFleet should not detect a LiveServer as a coordinator")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"twig/internal/pipeline"
 	"twig/internal/runner"
 	"twig/internal/telemetry"
+	"twig/internal/twigd"
 	"twig/internal/workload"
 )
 
@@ -75,6 +76,29 @@ func (c *Context) Runner() *runner.Runner { return c.run }
 
 // SetContext sets the cancellation context inherited by every job.
 func (c *Context) SetContext(ctx stdctx.Context) { c.ctx = ctx }
+
+// SimConfig projects the context's operating point onto the
+// serializable twigd.SimConfig, so the standard matrix can be offered
+// to a fleet with hashes that match this context's own jobs.
+// TestSimConfigRoundTrip pins the equivalence (twigd.SimConfig.Options
+// must reconstruct Opts exactly, canonical-encoding-wise).
+func (c *Context) SimConfig() twigd.SimConfig {
+	return twigd.SimConfig{
+		Instructions:        c.Opts.Pipeline.MaxInstructions,
+		Warmup:              c.Opts.Pipeline.Warmup,
+		BTBEntries:          c.Opts.BTB.Entries,
+		BTBWays:             c.Opts.BTB.Ways,
+		FTQSize:             c.Opts.Pipeline.FTQSize,
+		PrefetchBuffer:      c.Opts.PrefetchBuffer,
+		PrefetchDistance:    c.Opts.Opt.PrefetchDistance,
+		CoalesceMaskBits:    c.Opts.Opt.CoalesceMaskBits,
+		DisableCoalescing:   c.Opts.Opt.DisableCoalescing,
+		SampleRate:          c.Opts.SampleRate,
+		ProfileInstructions: c.Opts.ProfileInstructions,
+		Epoch:               c.Opts.Telemetry.EpochLength,
+		Sample:              c.Opts.Sample,
+	}
+}
 
 // clone returns a Context sharing this one's runner (and therefore
 // its memoized results) but rendering to a different writer.
@@ -237,17 +261,6 @@ func (c *Context) Confluence(app workload.App, input int) (*pipeline.Result, err
 	})
 }
 
-// schemeKeys maps core scheme names to the memo-key prefixes the
-// single accessors historically use, so grouped and individual runs
-// address the same memo entries and cache envelopes.
-var schemeKeys = map[string]string{
-	"baseline":   "base",
-	"ideal":      "ideal",
-	"twig":       "twig",
-	"shotgun":    "shotgun",
-	"confluence": "confluence",
-}
-
 // Schemes returns the cached runs of the named schemes (core.SchemeNames)
 // for (app, input), keyed by scheme name. Members missing from the
 // cache are computed in one shared-stream pass (core.RunSchemes over a
@@ -261,11 +274,14 @@ func (c *Context) Schemes(app workload.App, input int, names ...string) (map[str
 	members := make([]runner.Member, len(names))
 	byID := make(map[string]string, len(names))
 	for i, n := range names {
-		prefix, ok := schemeKeys[n]
-		if !ok {
+		// The memo key comes from the shared mapping (runner.SchemeMemoKey)
+		// so grouped runs, individual accessors, the facade's RunMatrix
+		// and twigd fleet workers all address the same memo entries and
+		// cache envelopes.
+		key, err := runner.SchemeMemoKey(n, app, input)
+		if err != nil {
 			return nil, fmt.Errorf("experiments: unknown scheme %q", n)
 		}
-		key := fmt.Sprintf("%s/%s/%d", prefix, app, input)
 		members[i] = runner.Member{
 			ID:    "run/" + key,
 			Kind:  runner.KindSim,

@@ -38,13 +38,13 @@ func (c *Context) sampleSpec() sampling.Spec {
 // "sims" telemetry bucket — and its hash covers the spec, so changing
 // the spec re-estimates while exact results stay cached.
 func (c *Context) Sampled(app workload.App, input int, scheme string) (*sampling.Estimate, error) {
-	prefix, ok := schemeKeys[scheme]
-	if !ok {
+	memo, err := runner.SchemeMemoKey(scheme, app, input)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 	}
 	opts := c.Opts
 	opts.Sample = c.sampleSpec()
-	key := fmt.Sprintf("sampled/%s/%s/%d", prefix, app, input)
+	key := "sampled/" + memo
 	h := ""
 	if runner.Cacheable(opts) {
 		h = runner.HashSampled(key, opts)
@@ -79,11 +79,11 @@ func (c *Context) Sampled(app workload.App, input int, scheme string) (*sampling
 // `at`. The payload is the raw self-validating checkpoint envelope;
 // restore it with core.Artifacts.ResumeScheme under the same options.
 func (c *Context) Checkpoint(app workload.App, input int, scheme string, at int64) ([]byte, error) {
-	prefix, ok := schemeKeys[scheme]
-	if !ok {
+	memo, err := runner.SchemeMemoKey(scheme, app, input)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 	}
-	key := fmt.Sprintf("ckpt/%s/%s/%d", prefix, app, input)
+	key := "ckpt/" + memo
 	h := ""
 	if runner.Cacheable(c.Opts) {
 		h = runner.HashCheckpoint(key, at, c.Opts)

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"twig/internal/runner"
+	"twig/internal/sampling"
+)
+
+// TestSimConfigRoundTrip pins the equivalence Context.SimConfig
+// promises: projecting the operating point onto the serializable
+// twigd.SimConfig and mapping it back through Options() must land on
+// the same canonical encoding — otherwise a fleet worker would hash
+// (and simulate) a different machine than the submitting harness.
+func TestSimConfigRoundTrip(t *testing.T) {
+	ctx := NewContext(&bytes.Buffer{}, 40_000)
+	// Perturb away from defaults so the projection is actually
+	// exercised field by field.
+	ctx.Opts.BTB.Entries = 4096
+	ctx.Opts.BTB.Ways = 8
+	ctx.Opts.Opt.DisableCoalescing = true
+	ctx.Opts.SampleRate = 3
+	ctx.Opts.ProfileInstructions = 123_456
+	ctx.Opts.Telemetry.EpochLength = 5_000
+	ctx.Opts.Sample = sampling.Spec{Interval: 2_000, Period: 10_000, Seed: 7}
+
+	want := runner.CanonicalOptions(ctx.Opts)
+	got := runner.CanonicalOptions(ctx.SimConfig().Options())
+	if got != want {
+		t.Fatalf("SimConfig round trip drifted:\n got %s\nwant %s", got, want)
+	}
+}

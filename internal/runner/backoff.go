@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is an exponential-backoff-with-jitter policy, shared by the
+// runner's bounded retry (Options.Backoff) and the remote cache tier's
+// transfer retries (Cache.SetRemote). The zero value disables waiting
+// entirely — retries stay immediate, which is the right default for
+// in-process failures (a panicked simulation will not heal by waiting)
+// and for tests. Network paths should wait: DefaultRemoteBackoff is the
+// policy the twigd client and worker use.
+type Backoff struct {
+	// Base is the delay before the first retry; 0 disables all delays.
+	Base time.Duration
+	// Max caps any single delay; 0 means no cap.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier; values <= 1 mean 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over ±Jitter fraction of its
+	// nominal value (0.5 → anywhere in [0.5d, 1.5d]), so a fleet of
+	// workers that failed together does not retry in lockstep. Values
+	// outside [0, 1] are clamped.
+	Jitter float64
+}
+
+// DefaultRemoteBackoff is the retry policy for remote cache transfers
+// and coordinator RPCs: 4 bounded attempts spaced 100ms, 200ms, 400ms
+// (each ±50%), capped at 2s.
+func DefaultRemoteBackoff() Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+}
+
+// Delay returns the wait before retry attempt n (n = 1 is the first
+// retry). Jitter draws from the global math/rand source; delays are
+// scheduling, not results, so they are deliberately outside the
+// simulator's determinism envelope.
+func (b Backoff) Delay(attempt int) time.Duration {
+	return b.delayWith(attempt, rand.Float64())
+}
+
+// delayWith is Delay with the jitter draw u ∈ [0, 1) made explicit so
+// tests can pin the bounds.
+func (b Backoff) delayWith(attempt int, u float64) time.Duration {
+	if b.Base <= 0 || attempt < 1 {
+		return 0
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	j := b.Jitter
+	if j < 0 {
+		j = 0
+	} else if j > 1 {
+		j = 1
+	}
+	d *= 1 - j + 2*j*u
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits Delay(attempt), returning early with the context's error
+// if it is cancelled first. A zero policy returns immediately.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

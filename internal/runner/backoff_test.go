@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffZeroValueDisabled(t *testing.T) {
+	var b Backoff
+	for _, n := range []int{0, 1, 2, 10} {
+		if d := b.Delay(n); d != 0 {
+			t.Fatalf("zero policy Delay(%d) = %v, want 0", n, d)
+		}
+	}
+}
+
+func TestBackoffExponentialGrowth(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		// u = 0.5 is the jitter midpoint: with Jitter 0 any u yields the
+		// nominal delay.
+		if d := b.delayWith(i+1, 0.5); d != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestBackoffMaxCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 250 * time.Millisecond, Factor: 2}
+	if d := b.delayWith(10, 0.5); d != 250*time.Millisecond {
+		t.Fatalf("capped Delay(10) = %v, want 250ms", d)
+	}
+	// Jitter can push a delay up; the cap must still hold.
+	b.Jitter = 1
+	if d := b.delayWith(10, 0.999); d > 250*time.Millisecond {
+		t.Fatalf("jittered Delay(10) = %v exceeds Max", d)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Factor: 2, Jitter: 0.5}
+	nominal := 200 * time.Millisecond // attempt 2
+	lo, hi := time.Duration(float64(nominal)*0.5), time.Duration(float64(nominal)*1.5)
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		d := b.delayWith(2, u)
+		if d < lo || d > hi {
+			t.Fatalf("delayWith(2, %v) = %v outside [%v, %v]", u, d, lo, hi)
+		}
+	}
+	if b.delayWith(2, 0) >= b.delayWith(2, 0.999) {
+		t.Fatal("jitter draw does not spread delays")
+	}
+}
+
+func TestBackoffDefaultFactorAndClamps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond} // Factor unset → 2
+	if d := b.delayWith(2, 0.5); d != 20*time.Millisecond {
+		t.Fatalf("default-factor Delay(2) = %v, want 20ms", d)
+	}
+	b.Jitter = 5 // clamped to 1: u=0.5 is still the nominal midpoint
+	if d := b.delayWith(1, 0.5); d != 10*time.Millisecond {
+		t.Fatalf("clamped-jitter Delay(1) = %v, want 10ms", d)
+	}
+	if d := b.delayWith(0, 0.5); d != 0 {
+		t.Fatalf("Delay(0) = %v, want 0", d)
+	}
+}
+
+func TestBackoffSleepCancelled(t *testing.T) {
+	b := Backoff{Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 1) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+}
+
+func TestBackoffSleepZeroPolicyImmediate(t *testing.T) {
+	var b Backoff
+	start := time.Now()
+	if err := b.Sleep(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("zero-policy Sleep took %v", elapsed)
+	}
+}
+
+// TestRetryBackoffSpacesAttempts pins the runner-side wiring: with a
+// retry budget and a backoff policy, transient failures are spaced by
+// at least the nominal (jitter-free) delays before succeeding.
+func TestRetryBackoffSpacesAttempts(t *testing.T) {
+	r := New(Options{
+		Workers: 2,
+		Retries: 2,
+		Backoff: Backoff{Base: 30 * time.Millisecond, Factor: 2},
+	})
+	var attempts atomic.Int64
+	start := time.Now()
+	v, err := r.Result(context.Background(), &Job{
+		ID: "flaky",
+		Run: func(context.Context, []any) (any, error) {
+			if attempts.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return "ok", nil
+		},
+	})
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	// Two retries: 30ms then 60ms nominal → at least 90ms total.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("retries completed in %v, want >= 90ms of backoff", elapsed)
+	}
+	if s := r.Stats(); s.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", s.Retries)
+	}
+}
+
+// TestRetryBackoffCancelledDuringWait pins that a cancellation landing
+// mid-backoff aborts the job promptly instead of sleeping out the
+// schedule.
+func TestRetryBackoffCancelledDuringWait(t *testing.T) {
+	r := New(Options{
+		Workers: 1,
+		Retries: 5,
+		Backoff: Backoff{Base: time.Hour},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	failed := make(chan struct{})
+	go func() {
+		<-failed
+		cancel()
+	}()
+	var once sync.Once
+	_, err := r.Result(ctx, &Job{
+		ID: "cancel-mid-backoff",
+		Run: func(context.Context, []any) (any, error) {
+			once.Do(func() { close(failed) })
+			return nil, errors.New("transient")
+		},
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

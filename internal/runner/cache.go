@@ -22,17 +22,25 @@ func DefaultCacheDir() string { return os.Getenv(CacheDirEnv) }
 // given no explicit capacity.
 const DefaultMemEntries = 1024
 
-// Cache is the two-tier content-addressed result cache: an in-memory
-// LRU of decoded payloads over an on-disk store of versioned envelopes
-// keyed by job hash. All methods are safe for concurrent use.
+// Cache is the content-addressed result cache: an in-memory LRU of
+// decoded payloads over an on-disk store of versioned envelopes keyed
+// by job hash, optionally backed by a shared remote blob store
+// (SetRemote) that a whole fleet reads and writes. All methods are
+// safe for concurrent use.
 //
 // The disk tier is self-healing: entries that fail to decode (truncated
 // writes, bit rot) and entries written under a different format or
 // simulator version are evicted on read and treated as misses, never
-// as errors.
+// as errors. The remote tier is zero-trust: entries are re-validated
+// on arrival and rejected (not evicted — the store is shared) when
+// they fail to decode.
 type Cache struct {
-	dir string // "" = memory-only
+	dir string // "" = no disk tier
 	cap int
+
+	remote        RemoteCache // nil = no remote tier
+	remoteRetry   Backoff
+	remoteRetries int
 
 	mu  sync.Mutex
 	mem map[string]*list.Element
@@ -49,6 +57,14 @@ type cacheCounters struct {
 	StoreErrors    atomic.Int64
 	CorruptEvicted atomic.Int64
 	StaleEvicted   atomic.Int64
+
+	RemoteHits        atomic.Int64
+	RemoteMisses      atomic.Int64
+	RemoteStores      atomic.Int64
+	RemoteStoreErrors atomic.Int64
+	RemoteErrors      atomic.Int64
+	RemoteCorrupt     atomic.Int64
+	RemoteRetries     atomic.Int64
 }
 
 type memEntry struct {
@@ -85,33 +101,50 @@ func (c *Cache) path(hash string) string {
 	return filepath.Join(c.dir, hash[:2], hash+".json")
 }
 
-// Get returns the cached payload for hash, consulting the memory tier
-// then the disk tier (promoting disk hits into memory). Undecodable
-// and version-mismatched disk entries are removed and reported as
-// misses.
+// Get returns the cached payload for hash, consulting the memory tier,
+// then the disk tier, then the remote tier when one is attached
+// (promoting lower-tier hits upward). Undecodable and
+// version-mismatched disk entries are removed and reported as misses;
+// undecodable remote entries are rejected and reported as misses.
 func (c *Cache) Get(hash string, codec Codec) (any, bool) {
 	return c.GetTraced(hash, codec, nil)
 }
 
 // GetTraced is Get with span structure: the disk tier's envelope
 // decode is recorded as a "decode" child of probe (which may be nil —
-// span methods no-op on nil), and probe gains a "tier" attribute
-// naming where the lookup resolved (mem, disk, or miss).
+// span methods no-op on nil), a remote probe as a "remote.fetch"
+// child, and probe gains a "tier" attribute naming where the lookup
+// resolved (mem, disk, remote, or miss).
 func (c *Cache) GetTraced(hash string, codec Codec, probe *telemetry.Span) (any, bool) {
 	if v, ok := c.memGet(hash); ok {
 		c.stats.MemHits.Add(1)
 		probe.AttrStr("tier", "mem")
 		return v, true
 	}
+	if v, ok := c.diskGet(hash, codec, probe); ok {
+		c.stats.DiskHits.Add(1)
+		probe.AttrStr("tier", "disk")
+		c.memPut(hash, v)
+		return v, true
+	}
+	if v, ok := c.remoteGet(hash, codec, probe); ok {
+		c.stats.RemoteHits.Add(1)
+		probe.AttrStr("tier", "remote")
+		c.memPut(hash, v)
+		return v, true
+	}
+	c.stats.Misses.Add(1)
+	probe.AttrStr("tier", "miss")
+	return nil, false
+}
+
+// diskGet probes the disk tier, evicting entries that fail to decode.
+func (c *Cache) diskGet(hash string, codec Codec, probe *telemetry.Span) (any, bool) {
 	if c.dir == "" || len(hash) < 2 {
-		c.stats.Misses.Add(1)
-		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(hash))
 	if err != nil {
-		c.stats.Misses.Add(1)
-		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
 	dec := probe.Child("decode", "cache")
@@ -126,24 +159,19 @@ func (c *Cache) GetTraced(hash string, codec Codec, probe *telemetry.Span) (any,
 			c.stats.CorruptEvicted.Add(1)
 		}
 		os.Remove(c.path(hash))
-		c.stats.Misses.Add(1)
-		probe.AttrStr("tier", "miss")
 		return nil, false
 	}
-	c.stats.DiskHits.Add(1)
-	probe.AttrStr("tier", "disk")
-	c.memPut(hash, v)
 	return v, true
 }
 
-// Put stores the payload in both tiers. Disk writes are atomic
-// (temp file + rename) so a crashed or concurrent writer can never
-// leave a partially written entry under the final name; failures are
-// recorded but non-fatal (the cache is an accelerator, not a
-// correctness dependency).
+// Put stores the payload in every attached tier. Disk writes are
+// atomic (temp file + rename) so a crashed or concurrent writer can
+// never leave a partially written entry under the final name; disk and
+// remote failures are recorded but non-fatal (the cache is an
+// accelerator, not a correctness dependency).
 func (c *Cache) Put(hash string, codec Codec, v any) {
 	c.memPut(hash, v)
-	if c.dir == "" || len(hash) < 2 {
+	if (c.dir == "" && c.remote == nil) || len(hash) < 2 {
 		return
 	}
 	data, err := encodeEntry(hash, codec, v)
@@ -151,29 +179,41 @@ func (c *Cache) Put(hash string, codec Codec, v any) {
 		c.stats.StoreErrors.Add(1)
 		return
 	}
+	if c.dir != "" {
+		if err := c.writeDisk(hash, data); err != nil {
+			c.stats.StoreErrors.Add(1)
+		} else {
+			c.stats.Stores.Add(1)
+		}
+	}
+	c.remoteStore(hash, data)
+}
+
+// writeDisk atomically writes one encoded envelope under its entry
+// path.
+func (c *Cache) writeDisk(hash string, data []byte) error {
 	final := c.path(hash)
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		c.stats.StoreErrors.Add(1)
-		return
+		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(final), "tmp-*")
 	if err != nil {
-		c.stats.StoreErrors.Add(1)
-		return
+		return err
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		c.stats.StoreErrors.Add(1)
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
-		c.stats.StoreErrors.Add(1)
-		return
+		return err
 	}
-	c.stats.Stores.Add(1)
+	return nil
 }
 
 func (c *Cache) memGet(hash string) (any, bool) {
@@ -224,6 +264,13 @@ func (c *Cache) PublishTo(reg *telemetry.Registry) {
 		{"runner_cache_store_errors", &c.stats.StoreErrors},
 		{"runner_cache_corrupt_evicted", &c.stats.CorruptEvicted},
 		{"runner_cache_stale_evicted", &c.stats.StaleEvicted},
+		{"runner_cache_remote_hits", &c.stats.RemoteHits},
+		{"runner_cache_remote_misses", &c.stats.RemoteMisses},
+		{"runner_cache_remote_stores", &c.stats.RemoteStores},
+		{"runner_cache_remote_store_errors", &c.stats.RemoteStoreErrors},
+		{"runner_cache_remote_errors", &c.stats.RemoteErrors},
+		{"runner_cache_remote_corrupt", &c.stats.RemoteCorrupt},
+		{"runner_cache_remote_retries", &c.stats.RemoteRetries},
 	}
 	for _, g := range gauges {
 		v := g.v

@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"errors"
+	"time"
+
+	"twig/internal/telemetry"
+)
+
+// RemoteCache is a shared, content-addressed blob store behind the
+// disk tier — the fleet-wide third tier of the result cache. Values
+// are the same versioned envelope bytes the disk tier writes (see
+// encodeEntry), keyed by the job's content hash, so any machine
+// pointed at the same store warm-regenerates results another machine
+// computed. Implementations are transports (the twigd coordinator's
+// /blob/ endpoint, a test double); they must be safe for concurrent
+// use and should NOT retry internally — the cache wraps every transfer
+// in bounded retries with exponential backoff and jitter.
+type RemoteCache interface {
+	// Fetch returns the envelope bytes stored under hash.
+	// A missing entry returns ErrRemoteMiss (never retried); any other
+	// error is a transport failure (retried, then treated as a miss).
+	Fetch(hash string) ([]byte, error)
+	// Store uploads the envelope bytes under hash. Stores are
+	// idempotent: the envelope is a pure function of the hash.
+	Store(hash string, data []byte) error
+}
+
+// ErrRemoteMiss reports that a remote store holds no entry for the
+// requested hash. It is a definitive answer, not a failure: the cache
+// records a remote miss and the job executes.
+var ErrRemoteMiss = errors.New("runner: remote cache: no such entry")
+
+// DefaultRemoteRetries is the number of re-attempts after a failed
+// remote transfer when SetRemote is given a negative count.
+const DefaultRemoteRetries = 3
+
+// SetRemote attaches a remote blob store as the cache's third tier,
+// probed after the memory and disk tiers miss. Fetched entries are
+// re-validated exactly like disk entries — an envelope that fails to
+// decode (truncated or bit-flipped in transit or at rest) or was
+// written under a different format/simulator version is rejected,
+// counted, and reported as a miss, so the job re-executes locally;
+// valid entries are promoted into the local tiers. Stores upload every
+// local Put. Transfers retry up to `retries` times (negative means
+// DefaultRemoteRetries) spaced by the given backoff policy; a transfer
+// that still fails degrades gracefully to local behavior (miss on
+// fetch, counted error on store). Call before sharing the cache across
+// goroutines; passing nil detaches.
+func (c *Cache) SetRemote(rc RemoteCache, retry Backoff, retries int) {
+	if retries < 0 {
+		retries = DefaultRemoteRetries
+	}
+	c.remote = rc
+	c.remoteRetry = retry
+	c.remoteRetries = retries
+}
+
+// Remote returns the attached remote store, or nil.
+func (c *Cache) Remote() RemoteCache { return c.remote }
+
+// remoteGet probes the remote tier and validates what it returns. The
+// raw envelope bytes of a valid entry are promoted to the disk tier
+// (the decoded payload's promotion to the memory tier is the caller's,
+// matching a disk hit).
+func (c *Cache) remoteGet(hash string, codec Codec, probe *telemetry.Span) (any, bool) {
+	if c.remote == nil || len(hash) < 2 {
+		return nil, false
+	}
+	sp := probe.Child("remote.fetch", "cache")
+	data, err := c.remoteFetch(hash)
+	sp.AttrBool("ok", err == nil)
+	sp.End()
+	if err != nil {
+		if errors.Is(err, ErrRemoteMiss) {
+			c.stats.RemoteMisses.Add(1)
+		} else {
+			c.stats.RemoteErrors.Add(1)
+		}
+		return nil, false
+	}
+	v, err := decodeEntry(data, hash, codec)
+	if err != nil {
+		// Reject, never trust: a corrupt or stale remote entry is
+		// counted and treated as a miss — it is not written to the
+		// local tiers, and the job re-executes locally.
+		c.stats.RemoteCorrupt.Add(1)
+		return nil, false
+	}
+	if c.dir != "" {
+		if werr := c.writeDisk(hash, data); werr != nil {
+			c.stats.StoreErrors.Add(1)
+		}
+	}
+	return v, true
+}
+
+// remoteFetch is one logical download: bounded retries around
+// transport failures, immediate return on a definitive miss.
+func (c *Cache) remoteFetch(hash string) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		data, err := c.remote.Fetch(hash)
+		if err == nil || errors.Is(err, ErrRemoteMiss) {
+			return data, err
+		}
+		if attempt >= c.remoteRetries {
+			return nil, err
+		}
+		c.stats.RemoteRetries.Add(1)
+		time.Sleep(c.remoteRetry.Delay(attempt + 1))
+	}
+}
+
+// remoteStore is one logical upload, same retry envelope as
+// remoteFetch; a store that still fails is counted and dropped (the
+// cache is an accelerator, not a correctness dependency).
+func (c *Cache) remoteStore(hash string, data []byte) {
+	if c.remote == nil {
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.remote.Store(hash, data)
+		if err == nil {
+			c.stats.RemoteStores.Add(1)
+			return
+		}
+		if attempt >= c.remoteRetries {
+			c.stats.RemoteStoreErrors.Add(1)
+			return
+		}
+		c.stats.RemoteRetries.Add(1)
+		time.Sleep(c.remoteRetry.Delay(attempt + 1))
+	}
+}

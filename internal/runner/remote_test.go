@@ -1,0 +1,335 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"twig/internal/pipeline"
+)
+
+// fakeRemote is a map-backed RemoteCache with per-call fault injection,
+// standing in for the twigd coordinator's blob endpoint.
+type fakeRemote struct {
+	mu      sync.Mutex
+	blobs   map[string][]byte
+	fetches int
+	stores  int
+	// failFetches/failStores make the next n calls return a transport
+	// error before touching the map.
+	failFetches int
+	failStores  int
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{blobs: make(map[string][]byte)} }
+
+func (f *fakeRemote) Fetch(hash string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	if f.failFetches > 0 {
+		f.failFetches--
+		return nil, errors.New("fake transport down")
+	}
+	data, ok := f.blobs[hash]
+	if !ok {
+		return nil, ErrRemoteMiss
+	}
+	return data, nil
+}
+
+func (f *fakeRemote) Store(hash string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	if f.failStores > 0 {
+		f.failStores--
+		return errors.New("fake transport down")
+	}
+	f.blobs[hash] = append([]byte(nil), data...)
+	return nil
+}
+
+func (f *fakeRemote) put(hash string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blobs[hash] = data
+}
+
+func (f *fakeRemote) get(hash string) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.blobs[hash]
+}
+
+func TestRemoteHitPromotesToLocalTiers(t *testing.T) {
+	// One cache uploads; a second cache with empty local tiers must be
+	// served from the remote and promote the entry downward.
+	remote := newFakeRemote()
+	src, err := OpenCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetRemote(remote, Backoff{}, 0)
+	res := &pipeline.Result{Original: 1000, Cycles: 777.5}
+	h := hash("remote-roundtrip")
+	src.Put(h, ResultCodec{}, res)
+	if remote.get(h) == nil {
+		t.Fatal("Put did not upload to the remote tier")
+	}
+
+	dir := t.TempDir()
+	dst, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.SetRemote(remote, Backoff{}, 0)
+	v, ok := dst.Get(h, ResultCodec{})
+	if !ok {
+		t.Fatal("remote entry not found")
+	}
+	if got := v.(*pipeline.Result); got.Cycles != res.Cycles {
+		t.Fatalf("got %+v, want %+v", got, res)
+	}
+	if dst.stats.RemoteHits.Load() != 1 {
+		t.Fatalf("remote hits = %d, want 1", dst.stats.RemoteHits.Load())
+	}
+	// Promoted to disk: a third cache over the same dir with no remote
+	// attached serves it locally.
+	third, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := third.Get(h, ResultCodec{}); !ok {
+		t.Fatal("remote hit was not promoted to the disk tier")
+	}
+	// Promoted to memory: the second read must not touch the remote.
+	before := remote.fetches
+	if _, ok := dst.Get(h, ResultCodec{}); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if remote.fetches != before {
+		t.Fatal("memory-promoted entry re-fetched from the remote")
+	}
+}
+
+func TestRemoteMissFallsThrough(t *testing.T) {
+	c, err := OpenCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(newFakeRemote(), Backoff{}, 0)
+	if _, ok := c.Get(hash("absent"), ResultCodec{}); ok {
+		t.Fatal("empty remote served a hit")
+	}
+	if c.stats.RemoteMisses.Load() != 1 {
+		t.Fatalf("remote misses = %d, want 1", c.stats.RemoteMisses.Load())
+	}
+	if c.stats.RemoteRetries.Load() != 0 {
+		t.Fatal("a definitive miss must not be retried")
+	}
+}
+
+func TestTruncatedRemoteEntryRejected(t *testing.T) {
+	remote := newFakeRemote()
+	src, _ := OpenCache("", 0)
+	src.SetRemote(remote, Backoff{}, 0)
+	h := hash("truncated-remote")
+	src.Put(h, ResultCodec{}, &pipeline.Result{Original: 5})
+	full := remote.get(h)
+	remote.put(h, full[:len(full)/2])
+
+	dir := t.TempDir()
+	dst, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.SetRemote(remote, Backoff{}, 0)
+	if _, ok := dst.Get(h, ResultCodec{}); ok {
+		t.Fatal("truncated remote entry served as a hit")
+	}
+	if dst.stats.RemoteCorrupt.Load() != 1 {
+		t.Fatalf("remote corrupt = %d, want 1", dst.stats.RemoteCorrupt.Load())
+	}
+	// Zero trust: the rejected bytes must not reach the local disk tier.
+	if _, err := os.Stat(dst.path(h)); !os.IsNotExist(err) {
+		t.Fatal("rejected remote entry was written to the disk tier")
+	}
+}
+
+func TestBitFlippedRemoteEntryRejected(t *testing.T) {
+	remote := newFakeRemote()
+	src, _ := OpenCache("", 0)
+	src.SetRemote(remote, Backoff{}, 0)
+	h := hash("bitflip-remote")
+	src.Put(h, ResultCodec{}, &pipeline.Result{Original: 9, Cycles: 12.5})
+	data := append([]byte(nil), remote.get(h)...)
+	data[len(data)/2] ^= 0x40
+	remote.put(h, data)
+
+	dst, _ := OpenCache("", 0)
+	dst.SetRemote(remote, Backoff{}, 0)
+	if _, ok := dst.Get(h, ResultCodec{}); ok {
+		t.Fatal("bit-flipped remote entry served as a hit")
+	}
+	if dst.stats.RemoteCorrupt.Load() != 1 {
+		t.Fatalf("remote corrupt = %d, want 1", dst.stats.RemoteCorrupt.Load())
+	}
+}
+
+func TestRemoteFetchRetriesThenSucceeds(t *testing.T) {
+	remote := newFakeRemote()
+	src, _ := OpenCache("", 0)
+	src.SetRemote(remote, Backoff{}, 0)
+	h := hash("flaky-fetch")
+	src.Put(h, ResultCodec{}, &pipeline.Result{Original: 3})
+
+	remote.failFetches = 2
+	dst, _ := OpenCache("", 0)
+	dst.SetRemote(remote, Backoff{}, DefaultRemoteRetries)
+	if _, ok := dst.Get(h, ResultCodec{}); !ok {
+		t.Fatal("fetch did not recover within the retry budget")
+	}
+	if dst.stats.RemoteRetries.Load() != 2 {
+		t.Fatalf("remote retries = %d, want 2", dst.stats.RemoteRetries.Load())
+	}
+}
+
+func TestRemoteFetchExhaustedDegradesToMiss(t *testing.T) {
+	remote := newFakeRemote()
+	remote.failFetches = 100
+	c, _ := OpenCache("", 0)
+	c.SetRemote(remote, Backoff{}, 1)
+	if _, ok := c.Get(hash("down"), ResultCodec{}); ok {
+		t.Fatal("unreachable remote served a hit")
+	}
+	if c.stats.RemoteErrors.Load() != 1 {
+		t.Fatalf("remote errors = %d, want 1", c.stats.RemoteErrors.Load())
+	}
+	if c.stats.RemoteRetries.Load() != 1 {
+		t.Fatalf("remote retries = %d, want 1", c.stats.RemoteRetries.Load())
+	}
+	// 1 original attempt + 1 retry.
+	if remote.fetches != 2 {
+		t.Fatalf("fetch attempts = %d, want 2", remote.fetches)
+	}
+}
+
+func TestRemoteStoreRetriesAndGivesUp(t *testing.T) {
+	remote := newFakeRemote()
+	remote.failStores = 1
+	c, _ := OpenCache("", 0)
+	c.SetRemote(remote, Backoff{}, 2)
+	c.Put(hash("store-flaky"), ResultCodec{}, &pipeline.Result{Original: 1})
+	if c.stats.RemoteStores.Load() != 1 {
+		t.Fatalf("remote stores = %d, want 1", c.stats.RemoteStores.Load())
+	}
+	if c.stats.RemoteRetries.Load() != 1 {
+		t.Fatalf("remote retries = %d, want 1", c.stats.RemoteRetries.Load())
+	}
+
+	remote.failStores = 100
+	c.Put(hash("store-dead"), ResultCodec{}, &pipeline.Result{Original: 2})
+	if c.stats.RemoteStoreErrors.Load() != 1 {
+		t.Fatalf("remote store errors = %d, want 1", c.stats.RemoteStoreErrors.Load())
+	}
+	// The local tier still works: stores are best-effort.
+	if _, ok := c.Get(hash("store-dead"), ResultCodec{}); !ok {
+		t.Fatal("local memory tier lost the entry")
+	}
+}
+
+// TestCorruptRemoteEntryReexecutesJob is the end-to-end corruption
+// property: a runner whose cache holds a corrupted remote entry for a
+// job must execute the job locally (and overwrite the bad blob with a
+// fresh upload) rather than fail or serve garbage.
+func TestCorruptRemoteEntryReexecutesJob(t *testing.T) {
+	remote := newFakeRemote()
+	src, _ := OpenCache("", 0)
+	src.SetRemote(remote, Backoff{}, 0)
+	h := hash("e2e-corrupt")
+	src.Put(h, JSONCodec[int]{}, 41)
+	data := append([]byte(nil), remote.get(h)...)
+	remote.put(h, data[:len(data)-4])
+
+	cache, _ := OpenCache("", 0)
+	cache.SetRemote(remote, Backoff{}, 0)
+	r := New(Options{Workers: 2, Cache: cache})
+	var runs atomic.Int64
+	v, err := r.Result(context.Background(), &Job{
+		ID:    "e2e-corrupt",
+		Kind:  KindSim,
+		Hash:  h,
+		Codec: JSONCodec[int]{},
+		Run: func(context.Context, []any) (any, error) {
+			runs.Add(1)
+			return 42, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("got %v, want the re-executed value 42", v)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("job ran %d times, want 1 (local re-execution)", runs.Load())
+	}
+	s := r.Stats()
+	if s.RemoteCorrupt != 1 || s.SimRuns != 1 || s.SimHits != 0 {
+		t.Fatalf("stats = %+v, want 1 remote corrupt, 1 sim run, 0 hits", s)
+	}
+	// The re-executed result was uploaded over the corrupt blob, so the
+	// next fleet member gets a valid entry.
+	if _, err := decodeEntry(remote.get(h), h, JSONCodec[int]{}); err != nil {
+		t.Fatalf("repaired blob still invalid: %v", err)
+	}
+}
+
+// TestRemoteHitSkipsExecution is the distributed warm-cache property:
+// a job whose result another machine uploaded is replayed, not re-run.
+func TestRemoteHitSkipsExecution(t *testing.T) {
+	remote := newFakeRemote()
+	src, _ := OpenCache("", 0)
+	src.SetRemote(remote, Backoff{}, 0)
+	h := hash("warm-remote")
+	src.Put(h, JSONCodec[int]{}, 7)
+
+	cache, _ := OpenCache("", 0)
+	cache.SetRemote(remote, Backoff{}, 0)
+	r := New(Options{Workers: 2, Cache: cache})
+	v, err := r.Result(context.Background(), &Job{
+		ID:    "warm-remote",
+		Kind:  KindSim,
+		Hash:  h,
+		Codec: JSONCodec[int]{},
+		Run: func(context.Context, []any) (any, error) {
+			t.Error("job executed despite a valid remote entry")
+			return nil, errors.New("unreachable")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 7 {
+		t.Fatalf("got %v, want 7", v)
+	}
+	if s := r.Stats(); s.SimHits != 1 || s.RemoteHits != 1 {
+		t.Fatalf("stats = %+v, want 1 sim hit via remote", s)
+	}
+}
+
+func TestSummaryRemoteSectionOnlyWhenActive(t *testing.T) {
+	s := Stats{Done: 3, SimRuns: 2}
+	if line := s.Summary(); strings.Contains(line, "remote:") {
+		t.Fatalf("quiet summary mentions the remote tier: %q", line)
+	}
+	s.RemoteHits = 1
+	if line := s.Summary(); !strings.Contains(line, "remote:") {
+		t.Fatalf("active summary missing the remote tier: %q", line)
+	}
+}

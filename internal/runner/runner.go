@@ -108,6 +108,10 @@ type Options struct {
 	// Retries is the number of re-run attempts after a failed or
 	// panicked attempt (cancellation is never retried).
 	Retries int
+	// Backoff spaces retry attempts — exponential with jitter, shared
+	// with the remote cache tier's transfer retries. The zero value
+	// retries immediately (the historical behavior).
+	Backoff Backoff
 	// Cache persistently memoizes hashed job payloads; nil disables.
 	Cache *Cache
 	// Ledger records the span-structured run ledger: every resolved job
@@ -302,6 +306,9 @@ func (r *Runner) execute(ctx context.Context, j *Job, deps []any, sp *telemetry.
 			return nil, err
 		}
 		r.stats.Retries.Add(1)
+		if r.opts.Backoff.Sleep(ctx, attempt+1) != nil {
+			return nil, err
+		}
 	}
 }
 

@@ -144,6 +144,12 @@ type Stats struct {
 	// StaleEvicted count on-disk entries discarded during recovery
 	// (undecodable bytes and format/simulator version mismatches).
 	MemHits, DiskHits, Stores, CorruptEvicted, StaleEvicted int64
+	// Remote tier (zero unless a RemoteCache is attached): RemoteHits
+	// count validated downloads, RemoteStores uploads, RemoteCorrupt
+	// entries rejected at validation, RemoteErrors transfers that
+	// failed even after bounded retries (fetch and store combined),
+	// RemoteRetries individual re-attempts.
+	RemoteHits, RemoteStores, RemoteCorrupt, RemoteErrors, RemoteRetries int64
 }
 
 // Stats returns a snapshot of the runner's (and its cache's) counters.
@@ -172,6 +178,11 @@ func (r *Runner) Stats() Stats {
 		s.Stores = c.stats.Stores.Load()
 		s.CorruptEvicted = c.stats.CorruptEvicted.Load()
 		s.StaleEvicted = c.stats.StaleEvicted.Load()
+		s.RemoteHits = c.stats.RemoteHits.Load()
+		s.RemoteStores = c.stats.RemoteStores.Load()
+		s.RemoteCorrupt = c.stats.RemoteCorrupt.Load()
+		s.RemoteErrors = c.stats.RemoteErrors.Load() + c.stats.RemoteStoreErrors.Load()
+		s.RemoteRetries = c.stats.RemoteRetries.Load()
 	}
 	return s
 }
@@ -179,13 +190,19 @@ func (r *Runner) Stats() Stats {
 // Summary renders the snapshot as the one-line cache hit/miss report
 // printed by cmd/experiments at exit. It is deterministic for a given
 // job matrix and cache state, so parallel and serial runs print the
-// same line.
+// same line. The remote-tier section appears only when remote traffic
+// occurred, so runs without a coordinator print the historical line.
 func (s Stats) Summary() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"jobs: %d done, %d failed | sims: %d run, %d cached | profiles: %d run, %d cached | derived: %d run, %d cached | cache: %d mem + %d disk hits, %d stores, %d corrupt, %d stale",
 		s.Done, s.Failed, s.SimRuns, s.SimHits, s.ProfileRuns, s.ProfileHits,
 		s.DerivedRuns, s.DerivedHits, s.MemHits, s.DiskHits, s.Stores,
 		s.CorruptEvicted, s.StaleEvicted)
+	if s.RemoteHits != 0 || s.RemoteStores != 0 || s.RemoteCorrupt != 0 || s.RemoteErrors != 0 {
+		line += fmt.Sprintf(" | remote: %d hits, %d stores, %d corrupt, %d errors",
+			s.RemoteHits, s.RemoteStores, s.RemoteCorrupt, s.RemoteErrors)
+	}
+	return line
 }
 
 // HitRate returns the fraction of completed work units served from

@@ -1,0 +1,281 @@
+package twigd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"twig/internal/core"
+	"twig/internal/runner"
+	"twig/internal/telemetry"
+)
+
+// Worker is one fleet member: it registers with the coordinator,
+// claims jobs under a lease, executes them through the ordinary
+// runner (with the coordinator's blob store attached as the cache's
+// remote tier, so results upload as a side effect of the cache's own
+// Put path), heartbeats while working, and reports completion. A
+// worker that dies simply stops heartbeating — the coordinator
+// reassigns its lease, and whatever partial results it uploaded are
+// valid content-addressed entries the next attempt reuses.
+type Worker struct {
+	// Client names the coordinator.
+	Client *Client
+	// Name identifies the worker in leases and on /debug/fleet.
+	Name string
+	// Jobs bounds the worker's runner pool per claimed job (<= 0 means
+	// GOMAXPROCS via the runner's default).
+	Jobs int
+	// CacheDir roots the worker's local disk cache ("" = memory-only;
+	// the remote tier still serves and receives everything).
+	CacheDir string
+	// Poll is the idle claim-poll base interval (0 = 200ms); it backs
+	// off exponentially with jitter while the queue is empty so an
+	// idle fleet does not hammer the coordinator in lockstep.
+	Poll time.Duration
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+
+	instructions atomic.Int64 // cumulative simulated instructions
+	done         atomic.Int64 // completed leases
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "twigworker %s: %s\n", w.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Instructions returns the worker's cumulative simulated-instruction
+// count.
+func (w *Worker) Instructions() int64 { return w.instructions.Load() }
+
+// Completed returns how many leases the worker has settled.
+func (w *Worker) Completed() int64 { return w.done.Load() }
+
+// Run registers and serves jobs until the context is cancelled. A
+// transiently unreachable coordinator is polled, not fatal: the
+// worker keeps trying until cancelled, so a coordinator restart does
+// not strand the fleet.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" {
+		return fmt.Errorf("twigd: worker needs a name")
+	}
+	reg, err := w.Client.Register(w.Name, w.Jobs)
+	if err != nil {
+		return fmt.Errorf("twigd: registering: %w", err)
+	}
+	ttl := time.Duration(reg.LeaseTTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	cache, err := runner.OpenCache(w.CacheDir, 0)
+	if err != nil {
+		return err
+	}
+	cache.SetRemote(w.Client.Blobs(), w.Client.Retry, w.Client.Retries)
+	w.logf("registered (lease TTL %s)", ttl)
+
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	idle := runner.Backoff{Base: poll, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	idleAttempt := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		resp, err := w.Client.Claim(w.Name)
+		if err != nil {
+			w.logf("claim failed: %v", err)
+			idleAttempt++
+			if idle.Sleep(ctx, idleAttempt) != nil {
+				return nil
+			}
+			continue
+		}
+		if resp.Job == nil {
+			idleAttempt++
+			if idle.Sleep(ctx, idleAttempt) != nil {
+				return nil
+			}
+			continue
+		}
+		idleAttempt = 0
+		w.serve(ctx, resp.Job, cache, ttl)
+	}
+}
+
+// serve executes one claimed job under its lease: heartbeats flow at
+// TTL/3 while the job runs, and losing the lease (or the worker's
+// context) cancels the execution.
+func (w *Worker) serve(ctx context.Context, spec *JobSpec, cache *runner.Cache, ttl time.Duration) {
+	w.logf("claimed %s", spec.ID)
+	// A fresh runner per job: job IDs are memo keys that do not embed
+	// the operating point, so in-process memoization must not outlive
+	// one spec. The cache (hash-keyed, shared, remote-attached) is the
+	// cross-job memory.
+	run := runner.New(runner.Options{Workers: w.Jobs, Cache: cache})
+
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+	heartbeatDone := make(chan struct{})
+	go func() {
+		defer close(heartbeatDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-t.C:
+				total := w.instructions.Load() + run.Stats().SimInstructions
+				ok, err := w.Client.Heartbeat(w.Name, spec.ID, total)
+				if err == nil && !ok {
+					w.logf("lease on %s lost; abandoning", spec.ID)
+					cancelJob()
+					return
+				}
+			}
+		}
+	}()
+
+	err := w.runSpec(jobCtx, spec, run, cache)
+	cancelJob()
+	<-heartbeatDone
+
+	stats := run.Stats()
+	w.instructions.Add(stats.SimInstructions)
+	req := CompleteRequest{
+		Worker:       w.Name,
+		Job:          spec.ID,
+		OK:           err == nil,
+		Instructions: w.instructions.Load(),
+		SimsRun:      stats.SimRuns,
+	}
+	if err != nil {
+		req.Error = err.Error()
+		w.logf("job %s failed: %v", spec.ID, err)
+	} else {
+		w.done.Add(1)
+		w.logf("job %s done (%d sims run, %d cached)", spec.ID, stats.SimRuns, stats.SimHits)
+	}
+	if _, cerr := w.Client.Complete(req); cerr != nil {
+		w.logf("completing %s: %v", spec.ID, cerr)
+	}
+}
+
+// runSpec executes one spec through the runner. Every job body uses
+// the exact memo IDs and content hashes of the local execution paths
+// (experiments Context, facade RunMatrix), so the cache entries the
+// remote tier receives are indistinguishable from locally computed
+// ones.
+func (w *Worker) runSpec(ctx context.Context, spec *JobSpec, run *runner.Runner, cache *runner.Cache) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	opts := spec.Config.Options()
+	art := runner.ArtifactsJob(spec.App, spec.Train, opts, "")
+	switch spec.Type {
+	case JobProfile:
+		_, err := run.Result(ctx, art)
+		return err
+
+	case JobSchemes:
+		members := make([]runner.Member, len(spec.Schemes))
+		byID := make(map[string]string, len(spec.Schemes))
+		for i, name := range spec.Schemes {
+			memo, err := runner.SchemeMemoKey(name, spec.App, spec.Input)
+			if err != nil {
+				return err
+			}
+			members[i] = runner.Member{
+				ID:    "run/" + memo,
+				Kind:  runner.KindSim,
+				Hash:  runner.HashSim(memo, opts),
+				Codec: runner.ResultCodec{},
+			}
+			byID[members[i].ID] = name
+		}
+		_, err := run.GroupResult(ctx, members, []*runner.Job{art},
+			func(jctx context.Context, deps []any, need []runner.Member) (map[string]any, error) {
+				a := deps[0].(*core.Artifacts)
+				names := make([]string, len(need))
+				for i, m := range need {
+					names[i] = byID[m.ID]
+				}
+				rs, err := a.RunSchemes(names, spec.Input, optsWithSpan(opts, telemetry.SpanFromContext(jctx)))
+				if err != nil {
+					return nil, err
+				}
+				out := make(map[string]any, len(need))
+				var executed int64
+				for _, m := range need {
+					r := rs[byID[m.ID]]
+					executed += r.Instructions
+					out[m.ID] = r
+				}
+				run.AddSimInstructions(executed)
+				return out, nil
+			})
+		return err
+
+	case JobCheckpoint:
+		memo, err := runner.SchemeMemoKey(spec.Scheme, spec.App, spec.Input)
+		if err != nil {
+			return err
+		}
+		key := "ckpt/" + memo
+		_, err = run.Result(ctx, &runner.Job{
+			ID:    fmt.Sprintf("%s@%d", key, spec.At),
+			Kind:  runner.KindCheckpoint,
+			Hash:  runner.HashCheckpoint(key, spec.At, opts),
+			Codec: runner.CheckpointCodec{},
+			Deps:  []*runner.Job{art},
+			Run: func(_ context.Context, deps []any) (any, error) {
+				a := deps[0].(*core.Artifacts)
+				data, err := a.CheckpointScheme(spec.Scheme, spec.Input, opts, spec.At)
+				if err == nil {
+					run.AddSimInstructions(spec.At)
+				}
+				return data, err
+			},
+		})
+		return err
+
+	case JobResume:
+		memo, err := runner.SchemeMemoKey(spec.Scheme, spec.App, spec.Input)
+		if err != nil {
+			return err
+		}
+		ckptHash := runner.HashCheckpoint("ckpt/"+memo, spec.At, opts)
+		_, err = run.Result(ctx, &runner.Job{
+			ID:    "run/" + memo,
+			Kind:  runner.KindSim,
+			Hash:  runner.HashSim(memo, opts),
+			Codec: runner.ResultCodec{},
+			Deps:  []*runner.Job{art},
+			Run: func(_ context.Context, deps []any) (any, error) {
+				// The checkpoint arrives through the cache's remote tier
+				// (WaitFor guaranteed it exists before this job was
+				// claimable), already envelope-validated; the checkpoint
+				// payload additionally self-validates on restore.
+				v, ok := cache.Get(ckptHash, runner.CheckpointCodec{})
+				if !ok {
+					return nil, fmt.Errorf("twigd: checkpoint %s unavailable", ckptHash[:12])
+				}
+				a := deps[0].(*core.Artifacts)
+				r, err := a.ResumeScheme(spec.Scheme, spec.Input, opts, v.([]byte))
+				if err == nil {
+					run.AddSimInstructions(r.Instructions - spec.At)
+				}
+				return r, err
+			},
+		})
+		return err
+	}
+	return fmt.Errorf("twigd: unknown job type %q", spec.Type)
+}

@@ -31,6 +31,7 @@ import (
 	"twig/internal/runner"
 	"twig/internal/sampling"
 	"twig/internal/telemetry"
+	"twig/internal/twigd"
 	"twig/internal/workload"
 )
 
@@ -116,6 +117,16 @@ type Config struct {
 	// cache replays the whole matrix — including training profiles —
 	// without executing a single simulation.
 	CacheDir string
+	// Coordinator, when non-empty, is a twigd coordinator's base URL
+	// (e.g. "http://host:9090"). RunMatrix then attaches the
+	// coordinator's blob store as the cache's remote tier, submits the
+	// matrix to the fleet, waits for it to drain, and replays the
+	// fleet's results as remote cache hits — byte-identical to a local
+	// run, for any worker count. An unreachable coordinator or a fleet
+	// with no alive workers degrades gracefully to local execution.
+	// Cells carrying observable telemetry (TraceWriter) are never
+	// distributed.
+	Coordinator string
 	// Sample configures interval-sampled estimation (System.Sampled):
 	// instead of simulating the whole window in detail, measured
 	// intervals are simulated exactly and everything between is
@@ -151,45 +162,37 @@ func DefaultConfig() Config {
 	return Config{Instructions: 1_000_000}
 }
 
+// simConfig projects the Config onto the serializable operating point
+// twigd ships to fleet workers. options() below delegates to its
+// Options() mapping, so a worker decoding this struct reconstructs
+// exactly the core.Options this process evaluates under — the content
+// hashes line up by construction.
+func (c Config) simConfig() twigd.SimConfig {
+	return twigd.SimConfig{
+		Instructions:      c.Instructions,
+		BTBEntries:        c.BTBEntries,
+		BTBWays:           c.BTBWays,
+		FTQSize:           c.FTQSize,
+		PrefetchBuffer:    c.PrefetchBuffer,
+		PrefetchDistance:  c.PrefetchDistance,
+		CoalesceMaskBits:  c.CoalesceMaskBits,
+		DisableCoalescing: c.DisableCoalescing,
+		SampleRate:        c.SampleRate,
+		Epoch:             c.Epoch,
+		Sample: sampling.Spec{
+			Interval:   c.Sample.Interval,
+			Period:     c.Sample.Period,
+			Seed:       c.Sample.Seed,
+			Warmup:     c.Sample.Warmup,
+			Confidence: c.Sample.Confidence,
+		},
+	}
+}
+
 func (c Config) options() core.Options {
-	opts := core.DefaultOptions()
-	if c.Instructions > 0 {
-		opts.Pipeline.MaxInstructions = c.Instructions
-	}
-	if c.BTBEntries > 0 {
-		opts.BTB.Entries = c.BTBEntries
-	}
-	if c.BTBWays > 0 {
-		opts.BTB.Ways = c.BTBWays
-	}
-	if c.FTQSize > 0 {
-		opts.Pipeline.FTQSize = c.FTQSize
-	}
-	if c.PrefetchBuffer > 0 {
-		opts.PrefetchBuffer = c.PrefetchBuffer
-	}
-	if c.PrefetchDistance > 0 {
-		opts.Opt.PrefetchDistance = c.PrefetchDistance
-	}
-	if c.CoalesceMaskBits > 0 {
-		opts.Opt.CoalesceMaskBits = c.CoalesceMaskBits
-	}
-	opts.Opt.DisableCoalescing = c.DisableCoalescing
-	if c.SampleRate > 0 {
-		opts.SampleRate = c.SampleRate
-	}
-	if c.Epoch > 0 {
-		opts.Telemetry.EpochLength = c.Epoch
-	}
+	opts := c.simConfig().Options()
 	if c.TraceWriter != nil {
 		opts.Telemetry.Tracer = telemetry.NewTracer(c.TraceWriter)
-	}
-	opts.Sample = sampling.Spec{
-		Interval:   c.Sample.Interval,
-		Period:     c.Sample.Period,
-		Seed:       c.Sample.Seed,
-		Warmup:     c.Sample.Warmup,
-		Confidence: c.Sample.Confidence,
 	}
 	return opts
 }
@@ -496,7 +499,7 @@ func (s *System) RunSchemes(input int, names ...string) (map[string]Result, erro
 		for _, name := range names {
 			sc := matrixSchemes[name]
 			r, err := s.run(name, func(in int, o core.Options) (*pipeline.Result, error) {
-				return sc.run(s.art, in, o)
+				return sc(s.art, in, o)
 			}, input)
 			if err != nil {
 				return nil, err
@@ -633,18 +636,16 @@ func SchemeNames() []string {
 	return []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
 }
 
-// matrixSchemes maps scheme names to artifact runners, and to the memo
-// keys the experiment harness uses for the same simulations — so a
-// cache warmed by cmd/experiments serves RunMatrix and vice versa.
-var matrixSchemes = map[string]struct {
-	memo string
-	run  func(*core.Artifacts, int, core.Options) (*pipeline.Result, error)
-}{
-	"baseline":   {"base", (*core.Artifacts).RunBaseline},
-	"ideal":      {"ideal", (*core.Artifacts).RunIdealBTB},
-	"twig":       {"twig", (*core.Artifacts).RunTwig},
-	"shotgun":    {"shotgun", (*core.Artifacts).RunShotgun},
-	"confluence": {"confluence", (*core.Artifacts).RunConfluence},
+// matrixSchemes maps scheme names to artifact runners; their memo keys
+// come from runner.SchemeMemoKey — the shared mapping the experiment
+// harness and twigd fleet workers also use — so a cache warmed by any
+// path serves every other.
+var matrixSchemes = map[string]func(*core.Artifacts, int, core.Options) (*pipeline.Result, error){
+	"baseline":   (*core.Artifacts).RunBaseline,
+	"ideal":      (*core.Artifacts).RunIdealBTB,
+	"twig":       (*core.Artifacts).RunTwig,
+	"shotgun":    (*core.Artifacts).RunShotgun,
+	"confluence": (*core.Artifacts).RunConfluence,
 }
 
 // RunMatrix simulates every requested application × scheme × input cell
@@ -683,8 +684,23 @@ func RunMatrix(cfg Config, apps []App, schemes []string, inputs []int) (map[Matr
 	if err != nil {
 		return nil, fmt.Errorf("twig: %w", err)
 	}
-	run := runner.New(runner.Options{Workers: cfg.Jobs, Cache: cache})
 	ctx := context.Background()
+	if cfg.Coordinator != "" && runner.Cacheable(opts) {
+		// Distribution is an accelerator, not a dependency: attach the
+		// coordinator's blob store as the cache's remote tier, offer the
+		// matrix to the fleet, and wait for it to drain. The local
+		// execution below then replays fleet results as remote cache
+		// hits and computes anything the fleet did not finish. If the
+		// coordinator is unreachable (or the fleet is dead), detach and
+		// run purely locally — same results, just slower.
+		client := twigd.NewClient(cfg.Coordinator)
+		cache.SetRemote(client.Blobs(), runner.DefaultRemoteBackoff(), -1)
+		specs := twigd.MatrixSpecs(cfg.simConfig(), apps, schemes, inputs)
+		if err := client.Drain(ctx, specs, nil); err != nil && client.Ping() != nil {
+			cache.SetRemote(nil, runner.Backoff{}, 0)
+		}
+	}
+	run := runner.New(runner.Options{Workers: cfg.Jobs, Cache: cache})
 
 	// One group per (app, input) point: its cells share a stream. Member
 	// IDs and hashes are exactly those of the equivalent individual jobs,
@@ -702,7 +718,7 @@ func RunMatrix(cfg Config, apps []App, schemes []string, inputs []int) (map[Matr
 		for _, input := range inputs {
 			g := group{app: app, input: input, art: art, byID: make(map[string]string, len(schemes))}
 			for _, scheme := range schemes {
-				memo := fmt.Sprintf("%s/%s/%d", matrixSchemes[scheme].memo, app, input)
+				memo, _ := runner.SchemeMemoKey(scheme, app, input) // schemes validated above
 				h := ""
 				if runner.Cacheable(opts) {
 					h = runner.HashSim(memo, opts)
