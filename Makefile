@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/runner -run='^$$' -fuzz=FuzzDecode -fuzztime=20s
 	$(GO) test ./internal/u64table -run='^$$' -fuzz=FuzzTable -fuzztime=20s
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=20s
+	$(GO) test ./internal/btb -run='^$$' -fuzz=FuzzHierarchy -fuzztime=20s
 
 # cover writes coverage.out and prints the per-function summary.
 cover:

@@ -257,6 +257,56 @@ func BenchmarkPipelineShotgun(b *testing.B) {
 	b.ReportMetric(res.IPC(), "sim-IPC")
 }
 
+// BenchmarkPipelineHierarchy measures the per-instruction cost of the
+// two-level BTB (Micro-BTB-style last level behind the L1, miss-fill
+// and promotion traffic on the lookup path).
+func BenchmarkPipelineHierarchy(b *testing.B) {
+	art, opts := benchArtifacts(b)
+	cfg := pipeline.DefaultConfig()
+	cfg.BackendCPI = art.Params.BackendCPI
+	cfg.CondMispredictRate = art.Params.CondMispredictRate
+	cfg.MaxInstructions = int64(b.N)
+	if cfg.MaxInstructions < 1000 {
+		cfg.MaxInstructions = 1000
+	}
+	hcfg := btb.DefaultHierarchyConfig()
+	hcfg.L1 = opts.BTB
+	cfg.Scheme = prefetcher.NewHierarchy(hcfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := pipeline.Run(art.Program, art.Input(0), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.IPC(), "sim-IPC")
+}
+
+// BenchmarkPipelineShadow measures the per-instruction cost of the
+// shadow-branch scheme (per-fetched-line predecode feeding the shadow
+// branch buffer).
+func BenchmarkPipelineShadow(b *testing.B) {
+	art, opts := benchArtifacts(b)
+	cfg := pipeline.DefaultConfig()
+	cfg.BackendCPI = art.Params.BackendCPI
+	cfg.CondMispredictRate = art.Params.CondMispredictRate
+	cfg.MaxInstructions = int64(b.N)
+	if cfg.MaxInstructions < 1000 {
+		cfg.MaxInstructions = 1000
+	}
+	scfg := prefetcher.DefaultShadowConfig()
+	scfg.BTB = opts.BTB
+	cfg.Scheme = prefetcher.NewShadow(scfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := pipeline.Run(art.Program, art.Input(0), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.IPC(), "sim-IPC")
+}
+
 func BenchmarkTAGEPredict(b *testing.B) {
 	tg := bpu.NewTAGE(bpu.DefaultTAGEConfig())
 	b.ReportAllocs()

@@ -61,7 +61,7 @@ type benchFile struct {
 func main() {
 	var (
 		apps         = flag.String("apps", "cassandra", `comma-separated applications, or "all"`)
-		schemes      = flag.String("schemes", "baseline,twig,shotgun", "comma-separated schemes (baseline|twig|shotgun)")
+		schemes      = flag.String("schemes", "baseline,twig,shotgun,hierarchy,shadow", "comma-separated schemes (baseline|twig|shotgun|hierarchy|shadow)")
 		instructions = flag.Int64("n", 1_000_000, "simulation window per run")
 		train        = flag.Int("train", 0, "Twig training input number")
 		reps         = flag.Int("reps", 3, "timed repetitions per cell (best is kept, after one warmup)")
@@ -77,8 +77,9 @@ func main() {
 		fatal(err)
 	}
 	schemeList := strings.Split(*schemes, ",")
+	knownSchemes := map[string]bool{"baseline": true, "twig": true, "shotgun": true, "hierarchy": true, "shadow": true}
 	for _, s := range schemeList {
-		if s = strings.TrimSpace(s); s != "baseline" && s != "twig" && s != "shotgun" {
+		if s = strings.TrimSpace(s); !knownSchemes[s] {
 			fatal(fmt.Errorf("unknown scheme %q", s))
 		}
 	}
@@ -170,9 +171,11 @@ func benchApp(app twig.App, train int, instructions int64, reps int, schemes []s
 		return nil, nil, err
 	}
 	runners := map[string]func() (twig.Result, error){
-		"baseline": func() (twig.Result, error) { return sys.Baseline(0) },
-		"twig":     func() (twig.Result, error) { return sys.Twig(0) },
-		"shotgun":  func() (twig.Result, error) { return sys.Shotgun(0) },
+		"baseline":  func() (twig.Result, error) { return sys.Baseline(0) },
+		"twig":      func() (twig.Result, error) { return sys.Twig(0) },
+		"shotgun":   func() (twig.Result, error) { return sys.Shotgun(0) },
+		"hierarchy": func() (twig.Result, error) { return sys.Hierarchy(0) },
+		"shadow":    func() (twig.Result, error) { return sys.Shadow(0) },
 	}
 	var results []benchResult
 	var serialSum int64
@@ -279,8 +282,10 @@ func checkRegression(app twig.App, instructions int64, results []benchResult, ol
 	for _, r := range results {
 		prev, found := lookup(old, r.Scheme)
 		if !found {
-			fmt.Fprintf(os.Stderr, "twigbench: -check: scheme %q missing from baseline file\n", r.Scheme)
-			ok = false
+			// Not a failure: CI regenerates the baseline at the merge
+			// base, where a scheme added on this branch doesn't exist
+			// yet. The next -update run picks it up.
+			fmt.Printf("  check %-10s SKIP: not in baseline file (new scheme?)\n", r.Scheme)
 			continue
 		}
 		floor := prev.SimKIPS * (1 - tolerance)

@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		app          = flag.String("app", "cassandra", "application (see -list)")
-		scheme       = flag.String("scheme", "baseline", "baseline|ideal|twig|shotgun|confluence")
+		scheme       = flag.String("scheme", "baseline", "baseline|ideal|twig|shotgun|confluence|hierarchy|shadow")
 		input        = flag.Int("input", 0, "input configuration number (0-3)")
 		train        = flag.Int("train", 0, "Twig training input number")
 		instructions = flag.Int64("instructions", 1_000_000, "simulation window")
@@ -100,6 +100,10 @@ func main() {
 		res, err = sys.Shotgun(*input)
 	case "confluence":
 		res, err = sys.Confluence(*input)
+	case "hierarchy":
+		res, err = sys.Hierarchy(*input)
+	case "shadow":
+		res, err = sys.Shadow(*input)
 	default:
 		fmt.Fprintf(os.Stderr, "twigsim: unknown scheme %q\n", *scheme)
 		os.Exit(2)

@@ -35,7 +35,7 @@ import (
 func main() {
 	var (
 		app          = flag.String("app", "cassandra", "application (twigsim -list shows all)")
-		scheme       = flag.String("scheme", "twig", "baseline|ideal|twig|shotgun|confluence")
+		scheme       = flag.String("scheme", "twig", "baseline|ideal|twig|shotgun|confluence|hierarchy|shadow")
 		input        = flag.Int("input", 0, "input configuration number (0-3)")
 		train        = flag.Int("train", 0, "Twig training input number")
 		instructions = flag.Int64("instructions", 1_000_000, "simulation window")
@@ -139,6 +139,10 @@ func runScheme(sys *twig.System, scheme string, input int) (twig.Result, error) 
 		return sys.Shotgun(input)
 	case "confluence":
 		return sys.Confluence(input)
+	case "hierarchy":
+		return sys.Hierarchy(input)
+	case "shadow":
+		return sys.Shadow(input)
 	}
 	return twig.Result{}, fmt.Errorf("unknown scheme %q", scheme)
 }

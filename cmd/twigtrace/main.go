@@ -31,7 +31,7 @@ func main() {
 		input  = flag.Int("input", 0, "input configuration number")
 		n      = flag.Int64("n", 1_000_000, "instructions to record/replay")
 		out    = flag.String("o", "app.trc", "output trace file (with -record)")
-		scheme = flag.String("scheme", "baseline", "baseline|ideal|shotgun|confluence (with -replay)")
+		scheme = flag.String("scheme", "baseline", "baseline|ideal|shotgun|confluence|hierarchy|shadow (with -replay)")
 		epoch  = flag.Int64("epoch", 0, "sample metrics every N instructions and print per-epoch IPC (with -replay)")
 		events = flag.String("events", "", "write the structured event trace (JSON Lines) to this file (with -replay)")
 	)
@@ -93,6 +93,10 @@ func main() {
 			cfg.Scheme = prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
 		case "confluence":
 			cfg.Scheme = prefetcher.NewConfluence(prefetcher.DefaultConfluenceConfig())
+		case "hierarchy":
+			cfg.Scheme = prefetcher.NewHierarchy(btb.DefaultHierarchyConfig())
+		case "shadow":
+			cfg.Scheme = prefetcher.NewShadow(prefetcher.DefaultShadowConfig())
 		default:
 			fatal(fmt.Errorf("unknown scheme %q", *scheme))
 		}

@@ -183,6 +183,14 @@ func (b *BTB) Probe(pc uint64) bool {
 // JIT recompilation in real systems; here targets are stable but the
 // semantics match).
 func (b *BTB) Insert(pc, target uint64, kind isa.Kind) {
+	b.InsertEvict(pc, target, kind)
+}
+
+// InsertEvict is Insert plus the displaced entry's prior contents, for
+// wrappers that virtualize evictions (the two-level Hierarchy demotes
+// L1 victims into its last-level BTB). An in-place update or a fill
+// into an invalid way displaces nothing.
+func (b *BTB) InsertEvict(pc, target uint64, kind isa.Kind) (Entry, bool) {
 	base := b.index(pc)
 	victim := -1
 	oldest := base
@@ -194,7 +202,7 @@ func (b *BTB) Insert(pc, target uint64, kind isa.Kind) {
 				b.clock++
 				b.stamp[base+w] = b.clock
 			}
-			return
+			return Entry{}, false
 		}
 		if victim < 0 && b.pcs[base+w] == invalidPC {
 			victim = base + w
@@ -215,11 +223,17 @@ func (b *BTB) Insert(pc, target uint64, kind isa.Kind) {
 			victim = oldest
 		}
 	}
+	var ev Entry
+	displaced := b.pcs[victim] != invalidPC
+	if displaced {
+		ev = Entry{PC: b.pcs[victim], Target: b.targets[victim], Kind: b.kinds[victim]}
+	}
 	b.clock++
 	b.pcs[victim] = pc
 	b.targets[victim] = target
 	b.kinds[victim] = kind
 	b.stamp[victim] = b.clock
+	return ev, displaced
 }
 
 // Stats aggregates BTB demand behaviour per branch kind, maintained by

@@ -72,6 +72,8 @@ func schemes(a *core.Artifacts) []schemeRun {
 		{"twig", a.RunTwig},
 		{"shotgun", a.RunShotgun},
 		{"confluence", a.RunConfluence},
+		{"hierarchy", a.RunHierarchy},
+		{"shadow", a.RunShadow},
 	}
 }
 
@@ -134,8 +136,9 @@ func TestDeterminismMatrix(t *testing.T) {
 	}
 }
 
-// TestCrossSchemeOracle runs the differential oracles over all five
-// schemes on each matrix workload.
+// TestCrossSchemeOracle runs the differential oracles over all seven
+// schemes on each matrix workload, including the structural
+// "hierarchy/shadow never miss more than baseline" bounds.
 func TestCrossSchemeOracle(t *testing.T) {
 	for _, app := range matrixApps() {
 		t.Run(string(app), func(t *testing.T) {
@@ -148,6 +151,8 @@ func TestCrossSchemeOracle(t *testing.T) {
 				{Name: "twig", Res: results["twig"]},
 				{Name: "shotgun", Res: results["shotgun"]},
 				{Name: "confluence", Res: results["confluence"]},
+				{Name: "hierarchy", Res: results["hierarchy"]},
+				{Name: "shadow", Res: results["shadow"]},
 			})
 			if err != nil {
 				t.Error(err)

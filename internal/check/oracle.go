@@ -35,7 +35,14 @@ type SchemeRun struct {
 //     coverage;
 //   - signed coverage is finite and within [-100, 100], clamped
 //     coverage within [0, 100];
-//   - no scheme's IPC exceeds the ideal BTB's beyond IPCTolerance.
+//   - no scheme's IPC exceeds the ideal BTB's beyond IPCTolerance;
+//   - runs named "hierarchy" or "shadow" never miss more than the
+//     baseline. Both schemes drive their L1/main BTB with exactly the
+//     baseline's lookup and resolve-fill stream (the backing level /
+//     shadow buffer only converts misses into hits, never writing the
+//     main structure outside the resolve fill), so the bound is
+//     structural — see SCHEMES.md — and holds exactly, per kind and
+//     in aggregate.
 //
 // base and ideal are the baseline and ideal-BTB runs; schemes lists
 // every other configuration (Twig, Shotgun, Confluence, extensions).
@@ -80,6 +87,17 @@ func CrossScheme(base, ideal *pipeline.Result, schemes []SchemeRun) error {
 		}
 		if ipc := s.Res.IPC(); ipc > idealIPC*(1+IPCTolerance) {
 			fail("%s: IPC %f exceeds ideal's %f beyond tolerance", s.Name, ipc, idealIPC)
+		}
+		if s.Name == "hierarchy" || s.Name == "shadow" {
+			if misses > baseMisses {
+				fail("%s: %d direct misses exceed baseline's %d (structural bound)", s.Name, misses, baseMisses)
+			}
+			for k := range s.Res.BTB.Misses {
+				if s.Res.BTB.Misses[k] > base.BTB.Misses[k] {
+					fail("%s: kind %d misses %d exceed baseline's %d (structural bound)",
+						s.Name, k, s.Res.BTB.Misses[k], base.BTB.Misses[k])
+				}
+			}
 		}
 	}
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"testing"
 
+	"twig/internal/btb"
 	"twig/internal/core"
 	"twig/internal/exec"
 	"twig/internal/pipeline"
@@ -84,6 +85,26 @@ func resumeCases() []resumeCase {
 			},
 			mk: func(core.Options) prefetcher.Scheme {
 				return prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig())
+			},
+		},
+		{
+			name: "hierarchy",
+			prog: func(a *core.Artifacts) *program.Program { return a.Program },
+			cfg:  func(c pipeline.Config) pipeline.Config { return c },
+			mk: func(o core.Options) prefetcher.Scheme {
+				hcfg := btb.DefaultHierarchyConfig()
+				hcfg.L1 = o.BTB
+				return prefetcher.NewHierarchy(hcfg)
+			},
+		},
+		{
+			name: "shadow",
+			prog: func(a *core.Artifacts) *program.Program { return a.Program },
+			cfg:  func(c pipeline.Config) pipeline.Config { return c },
+			mk: func(o core.Options) prefetcher.Scheme {
+				scfg := prefetcher.DefaultShadowConfig()
+				scfg.BTB = o.BTB
+				return prefetcher.NewShadow(scfg)
 			},
 		},
 	}
@@ -208,7 +229,7 @@ func TestResumeOracleCoreLevel(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.Pipeline.MaxInstructions = matrixWindow
 
-	for _, scheme := range []string{"baseline", "twig", "confluence"} {
+	for _, scheme := range []string{"baseline", "twig", "confluence", "hierarchy", "shadow"} {
 		t.Run(scheme, func(t *testing.T) {
 			want, err := a.RunScheme(scheme, 0, opts)
 			if err != nil {

@@ -215,7 +215,7 @@ func (a *Artifacts) RunOptimized(optimized *program.Program, input int, opts Opt
 
 // SchemeNames lists the named schemes RunScheme and RunSchemes accept,
 // in the conventional reporting order.
-var SchemeNames = []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
+var SchemeNames = []string{"baseline", "ideal", "twig", "shotgun", "confluence", "hierarchy", "shadow"}
 
 // schemeConfig returns the machine configuration and program variant
 // for one named scheme — the single source of truth shared by the
@@ -247,6 +247,16 @@ func (a *Artifacts) schemeConfig(name string, opts Options) (pipeline.Config, *p
 		ccfg := prefetcher.DefaultConfluenceConfig()
 		ccfg.BTB = opts.BTB
 		cfg.Scheme = prefetcher.NewConfluence(ccfg)
+		return cfg, a.Program, nil
+	case "hierarchy":
+		hcfg := btb.DefaultHierarchyConfig()
+		hcfg.L1 = opts.BTB
+		cfg.Scheme = prefetcher.NewHierarchy(hcfg)
+		return cfg, a.Program, nil
+	case "shadow":
+		scfg := prefetcher.DefaultShadowConfig()
+		scfg.BTB = opts.BTB
+		cfg.Scheme = prefetcher.NewShadow(scfg)
 		return cfg, a.Program, nil
 	}
 	return pipeline.Config{}, nil, fmt.Errorf("core: unknown scheme %q", name)
@@ -407,6 +417,18 @@ func (a *Artifacts) RunShotgun(input int, opts Options) (*pipeline.Result, error
 // RunConfluence simulates the unmodified binary under Confluence.
 func (a *Artifacts) RunConfluence(input int, opts Options) (*pipeline.Result, error) {
 	return a.RunScheme("confluence", input, opts)
+}
+
+// RunHierarchy simulates the unmodified binary under the two-level
+// Micro BTB hierarchy (opts.BTB as the L1, default last level).
+func (a *Artifacts) RunHierarchy(input int, opts Options) (*pipeline.Result, error) {
+	return a.RunScheme("hierarchy", input, opts)
+}
+
+// RunShadow simulates the unmodified binary under the shadow-branch
+// scheme (opts.BTB as the main BTB, default shadow branch buffer).
+func (a *Artifacts) RunShadow(input int, opts Options) (*pipeline.Result, error) {
+	return a.RunScheme("shadow", input, opts)
 }
 
 // RunWithScheme simulates the unmodified binary under an arbitrary

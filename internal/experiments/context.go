@@ -261,6 +261,28 @@ func (c *Context) Confluence(app workload.App, input int) (*pipeline.Result, err
 	})
 }
 
+// Hierarchy returns the cached two-level Micro BTB hierarchy run.
+func (c *Context) Hierarchy(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRunCtx(fmt.Sprintf("hierarchy/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunHierarchy(input, c.optsWithSpan(jctx))
+	})
+}
+
+// Shadow returns the cached shadow-branch run.
+func (c *Context) Shadow(app workload.App, input int) (*pipeline.Result, error) {
+	a, err := c.Artifacts(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.memoRunCtx(fmt.Sprintf("shadow/%s/%d", app, input), func(jctx stdctx.Context) (*pipeline.Result, error) {
+		return a.RunShadow(input, c.optsWithSpan(jctx))
+	})
+}
+
 // Schemes returns the cached runs of the named schemes (core.SchemeNames)
 // for (app, input), keyed by scheme name. Members missing from the
 // cache are computed in one shared-stream pass (core.RunSchemes over a

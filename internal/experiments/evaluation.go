@@ -16,18 +16,19 @@ type r = pipeline.Result
 func init() {
 	register(Experiment{
 		ID:    "fig16",
-		Title: "Speedup over the FDIP baseline: Twig vs ideal BTB, 32K BTB, Shotgun, Confluence",
+		Title: "Speedup over the FDIP baseline: Twig vs ideal BTB, 32K BTB, Shotgun, Confluence, Micro BTB hierarchy, shadow branches",
 		Paper: "Twig +20.86% avg (2-145%); ideal +31%; Shotgun ~+1%; Twig beats even a 32K-entry BTB on average",
 		Run: func(c *Context) error {
-			t := metrics.NewTable("app", "ideal %", "32K BTB %", "confluence %", "shotgun %", "twig %")
-			cols := make([][]float64, 5)
+			t := metrics.NewTable("app", "ideal %", "32K BTB %", "confluence %", "shotgun %", "hierarchy %", "shadow %", "twig %")
+			cols := make([][]float64, 7)
 			for _, app := range c.Apps {
-				runs, err := c.Schemes(app, 0, "baseline", "ideal", "twig", "shotgun", "confluence")
+				runs, err := c.Schemes(app, 0, "baseline", "ideal", "twig", "shotgun", "confluence", "hierarchy", "shadow")
 				if err != nil {
 					return err
 				}
 				base, ideal := runs["baseline"], runs["ideal"]
 				tw, sh, cf := runs["twig"], runs["shotgun"], runs["confluence"]
+				hi, sb := runs["hierarchy"], runs["shadow"]
 				big32, err := c.bigBTB(app, 32768)
 				if err != nil {
 					return err
@@ -37,16 +38,19 @@ func init() {
 					metrics.Speedup(base.IPC(), big32.IPC()),
 					metrics.Speedup(base.IPC(), cf.IPC()),
 					metrics.Speedup(base.IPC(), sh.IPC()),
+					metrics.Speedup(base.IPC(), hi.IPC()),
+					metrics.Speedup(base.IPC(), sb.IPC()),
 					metrics.Speedup(base.IPC(), tw.IPC()),
 				}
 				for i, v := range vals {
 					cols[i] = append(cols[i], v)
 				}
-				t.Row(string(app), vals[0], vals[1], vals[2], vals[3], vals[4])
+				t.Row(string(app), vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6])
 			}
 			t.Row("average",
 				metrics.Mean(cols[0]), metrics.Mean(cols[1]), metrics.Mean(cols[2]),
-				metrics.Mean(cols[3]), metrics.Mean(cols[4]))
+				metrics.Mean(cols[3]), metrics.Mean(cols[4]), metrics.Mean(cols[5]),
+				metrics.Mean(cols[6]))
 			_, err := fmt.Fprint(c.Out, t.String())
 			return err
 		},
@@ -54,25 +58,28 @@ func init() {
 
 	register(Experiment{
 		ID:    "fig17",
-		Title: "BTB miss coverage of Twig, Confluence, and Shotgun",
+		Title: "BTB miss coverage of Twig, Confluence, Shotgun, the Micro BTB hierarchy, and shadow branches",
 		Paper: "Twig covers 65.4% avg (up to 95.8%), 57.4% more than Shotgun",
 		Run: func(c *Context) error {
-			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
-			var cs, ss, ts []float64
+			t := metrics.NewTable("app", "confluence %", "shotgun %", "hierarchy %", "shadow %", "twig %")
+			var cs, ss, hs, bs, ts []float64
 			for _, app := range c.Apps {
-				runs, err := c.Schemes(app, 0, "baseline", "twig", "shotgun", "confluence")
+				runs, err := c.Schemes(app, 0, "baseline", "twig", "shotgun", "confluence", "hierarchy", "shadow")
 				if err != nil {
 					return err
 				}
 				base, tw, sh, cf := runs["baseline"], runs["twig"], runs["shotgun"], runs["confluence"]
+				hi, sb := runs["hierarchy"], runs["shadow"]
 				bm := base.BTB.DirectMisses()
 				vc := metrics.Coverage(bm, cf.BTB.DirectMisses())
 				vs := metrics.Coverage(bm, sh.BTB.DirectMisses())
+				vh := metrics.Coverage(bm, hi.BTB.DirectMisses())
+				vb := metrics.Coverage(bm, sb.BTB.DirectMisses())
 				vt := metrics.Coverage(bm, tw.BTB.DirectMisses())
-				cs, ss, ts = append(cs, vc), append(ss, vs), append(ts, vt)
-				t.Row(string(app), vc, vs, vt)
+				cs, ss, hs, bs, ts = append(cs, vc), append(ss, vs), append(hs, vh), append(bs, vb), append(ts, vt)
+				t.Row(string(app), vc, vs, vh, vb, vt)
 			}
-			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(ts))
+			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(hs), metrics.Mean(bs), metrics.Mean(ts))
 			_, err := fmt.Fprint(c.Out, t.String())
 			return err
 		},
@@ -128,24 +135,27 @@ func init() {
 
 	register(Experiment{
 		ID:    "fig19",
-		Title: "BTB prefetch accuracy of Twig, Confluence, and Shotgun",
+		Title: "BTB prefetch accuracy of Twig, Confluence, Shotgun, and shadow branches",
 		Paper: "Twig 31.3% average accuracy, ~12.3% higher than Shotgun",
 		Run: func(c *Context) error {
-			t := metrics.NewTable("app", "confluence %", "shotgun %", "twig %")
-			var cs, ss, ts []float64
+			// The hierarchy is absent by design: it never prefetches, so
+			// it has no accuracy to report (see SCHEMES.md).
+			t := metrics.NewTable("app", "confluence %", "shotgun %", "shadow %", "twig %")
+			var cs, ss, bs, ts []float64
 			for _, app := range c.Apps {
-				runs, err := c.Schemes(app, 0, "twig", "shotgun", "confluence")
+				runs, err := c.Schemes(app, 0, "twig", "shotgun", "confluence", "shadow")
 				if err != nil {
 					return err
 				}
-				tw, sh, cf := runs["twig"], runs["shotgun"], runs["confluence"]
+				tw, sh, cf, sb := runs["twig"], runs["shotgun"], runs["confluence"], runs["shadow"]
 				vc := cf.Prefetch.Accuracy() * 100
 				vs := sh.Prefetch.Accuracy() * 100
+				vb := sb.Prefetch.Accuracy() * 100
 				vt := tw.Prefetch.Accuracy() * 100
-				cs, ss, ts = append(cs, vc), append(ss, vs), append(ts, vt)
-				t.Row(string(app), vc, vs, vt)
+				cs, ss, bs, ts = append(cs, vc), append(ss, vs), append(bs, vb), append(ts, vt)
+				t.Row(string(app), vc, vs, vb, vt)
 			}
-			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(ts))
+			t.Row("average", metrics.Mean(cs), metrics.Mean(ss), metrics.Mean(bs), metrics.Mean(ts))
 			_, err := fmt.Fprint(c.Out, t.String())
 			return err
 		},
@@ -156,11 +166,11 @@ func init() {
 		Title: "Cross-input generalization (% of ideal, inputs #1-#3, trained on #0) — includes Table 2",
 		Paper: "training-input profiles achieve speedups comparable to same-input profiles; both far above Shotgun/Confluence",
 		Run: func(c *Context) error {
-			t := metrics.NewTable("app", "same-input avg", "same stddev", "train-#0 avg", "train stddev", "shotgun avg", "confluence avg")
+			t := metrics.NewTable("app", "same-input avg", "same stddev", "train-#0 avg", "train stddev", "shotgun avg", "confluence avg", "hierarchy avg", "shadow avg")
 			for _, app := range c.Apps {
-				var same, cross, shot, conf []float64
+				var same, cross, shot, conf, hier, shad []float64
 				for input := 1; input <= 3; input++ {
-					runs, err := c.Schemes(app, input, "baseline", "ideal", "twig", "shotgun", "confluence")
+					runs, err := c.Schemes(app, input, "baseline", "ideal", "twig", "shotgun", "confluence", "hierarchy", "shadow")
 					if err != nil {
 						return err
 					}
@@ -187,11 +197,15 @@ func init() {
 					sh, cf := runs["shotgun"], runs["confluence"]
 					shot = append(shot, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), sh.IPC()), idealSp))
 					conf = append(conf, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), cf.IPC()), idealSp))
+					hi, sb := runs["hierarchy"], runs["shadow"]
+					hier = append(hier, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), hi.IPC()), idealSp))
+					shad = append(shad, metrics.PercentOfIdeal(metrics.Speedup(base.IPC(), sb.IPC()), idealSp))
 				}
 				t.Row(string(app),
 					metrics.Mean(same), metrics.StdDev(same),
 					metrics.Mean(cross), metrics.StdDev(cross),
-					metrics.Mean(shot), metrics.Mean(conf))
+					metrics.Mean(shot), metrics.Mean(conf),
+					metrics.Mean(hier), metrics.Mean(shad))
 			}
 			_, err := fmt.Fprint(c.Out, t.String())
 			return err

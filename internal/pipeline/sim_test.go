@@ -21,6 +21,8 @@ func resumeSchemes() map[string]func() prefetcher.Scheme {
 		"ideal":      func() prefetcher.Scheme { return prefetcher.NewIdeal() },
 		"shotgun":    func() prefetcher.Scheme { return prefetcher.NewShotgun(prefetcher.DefaultShotgunConfig()) },
 		"confluence": func() prefetcher.Scheme { return prefetcher.NewConfluence(prefetcher.DefaultConfluenceConfig()) },
+		"hierarchy":  func() prefetcher.Scheme { return prefetcher.NewHierarchy(btb.DefaultHierarchyConfig()) },
+		"shadow":     func() prefetcher.Scheme { return prefetcher.NewShadow(prefetcher.DefaultShadowConfig()) },
 	}
 }
 

@@ -12,7 +12,16 @@
 //   - Confluence (Kaynak et al., MICRO'15): block-grain BTB kept in
 //     sync with the I-cache, fed by a SHIFT-style temporal stream
 //     prefetcher that replays previously recorded I-cache block
-//     sequences and predecodes replayed blocks.
+//     sequences and predecodes replayed blocks;
+//
+// plus two later profile-free organizations (see SCHEMES.md):
+//
+//   - Hierarchy (Micro BTB, Asheim et al.): the L1 BTB backed by a
+//     large last-level BTB with region-compressed tags and delta-
+//     compressed targets, exchanging demotion/promotion traffic;
+//   - Shadow (Exposing Shadow Branches): fetched I-cache lines are
+//     predecoded and their unexecuted direct branches staged in a
+//     Shadow Branch Buffer that covers later demand misses.
 //
 // Schemes receive every BTB lookup and branch resolution plus the fetch
 // line stream, and can call back into the frontend to prefetch I-cache

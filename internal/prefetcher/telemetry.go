@@ -4,8 +4,11 @@ import "twig/internal/telemetry"
 
 // Register publishes a scheme's counters into the registry: the
 // prefetch-effectiveness counters (prefetch_issued/used/late/redundant)
-// and the per-kind BTB demand stats (btb_*). Gauges read the scheme at
-// sample time, so registration happens once per run, before simulation.
+// and the per-kind BTB demand stats (btb_*). Schemes with extra
+// internal structure (the two-level hierarchy's per-level traffic)
+// publish it through the optional publisher interface. Gauges read the
+// scheme at sample time, so registration happens once per run, before
+// simulation.
 func Register(reg *telemetry.Registry, s Scheme) {
 	reg.GaugeInt("prefetch_issued", func() int64 { return s.PrefetchStats().Issued })
 	reg.GaugeInt("prefetch_used", func() int64 { return s.PrefetchStats().Used })
@@ -13,4 +16,7 @@ func Register(reg *telemetry.Registry, s Scheme) {
 	reg.GaugeInt("prefetch_redundant", func() int64 { return s.PrefetchStats().Redundant })
 	reg.Gauge("prefetch_accuracy", func() float64 { return s.PrefetchStats().Accuracy() })
 	s.Stats().Register(reg, "btb")
+	if p, ok := s.(interface{ PublishTo(*telemetry.Registry) }); ok {
+		p.PublishTo(reg)
+	}
 }

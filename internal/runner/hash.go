@@ -82,6 +82,8 @@ var schemeMemoPrefix = map[string]string{
 	"twig":       "twig",
 	"shotgun":    "shotgun",
 	"confluence": "confluence",
+	"hierarchy":  "hierarchy",
+	"shadow":     "shadow",
 }
 
 // SchemeMemoKey returns the canonical memo key for one named scheme's

@@ -444,6 +444,20 @@ func (s *System) Confluence(input int) (Result, error) {
 	return s.run("confluence", s.art.RunConfluence, input)
 }
 
+// Hierarchy simulates the unmodified binary under the two-level Micro
+// BTB hierarchy (Asheim et al.): the baseline BTB backed by a large
+// compressed last-level BTB.
+func (s *System) Hierarchy(input int) (Result, error) {
+	return s.run("hierarchy", s.art.RunHierarchy, input)
+}
+
+// Shadow simulates the unmodified binary under the shadow-branch
+// scheme ("Exposing Shadow Branches"): fetched lines are predecoded
+// and their unexecuted branches staged in a shadow branch buffer.
+func (s *System) Shadow(input int) (Result, error) {
+	return s.run("shadow", s.art.RunShadow, input)
+}
+
 // run simulates one scheme and, when checking is enabled, verifies the
 // run against the verification layer before converting its Result. The
 // options are copied per run so the attached checker hooks never leak
@@ -633,7 +647,7 @@ type MatrixKey struct {
 
 // SchemeNames lists the scheme names RunMatrix accepts.
 func SchemeNames() []string {
-	return []string{"baseline", "ideal", "twig", "shotgun", "confluence"}
+	return []string{"baseline", "ideal", "twig", "shotgun", "confluence", "hierarchy", "shadow"}
 }
 
 // matrixSchemes maps scheme names to artifact runners; their memo keys
@@ -646,12 +660,14 @@ var matrixSchemes = map[string]func(*core.Artifacts, int, core.Options) (*pipeli
 	"twig":       (*core.Artifacts).RunTwig,
 	"shotgun":    (*core.Artifacts).RunShotgun,
 	"confluence": (*core.Artifacts).RunConfluence,
+	"hierarchy":  (*core.Artifacts).RunHierarchy,
+	"shadow":     (*core.Artifacts).RunShadow,
 }
 
 // RunMatrix simulates every requested application × scheme × input cell
 // on a worker pool of cfg.Jobs workers, backed by a persistent result
 // cache under cfg.CacheDir. Empty slices mean "all nine applications",
-// "all five schemes" and "input 0". Each application is built, profiled
+// "all seven schemes" and "input 0". Each application is built, profiled
 // and analyzed once as a job DAG shared by its cells, and each (app,
 // input) point's schemes run as one grouped job over a shared broadcast
 // stream (runner.GroupResult over core.RunSchemes) — cells already in
