@@ -10,6 +10,8 @@
 //	experiments -listen :8080 -j 8      # live runner stats (watch with cmd/twigtop)
 //	experiments -only sampled -sample   # interval-sampled estimates with confidence intervals
 //	experiments -coordinator http://host:9090  # offload the matrix to a twigd fleet
+//	experiments -surrogate -cache .twig-cache  # surrogate-pruned sweeps off a warm cache
+//	experiments -cache-ls -cache .twig-cache   # enumerate the result cache and exit
 //	experiments -list                   # show experiment IDs
 package main
 
@@ -23,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +62,10 @@ func main() {
 		interval     = flag.Int64("interval", 0, "sampled-interval length in instructions (0 = window/20; with -sample)")
 		period       = flag.Int("period", 4, "measure one interval of every N (with -sample)")
 		sampleSeed   = flag.Uint64("sampleseed", 0, "non-zero = seeded-random interval selection; 0 = systematic (with -sample)")
+		surrogate    = flag.Bool("surrogate", false, "prune sweeps with a cache-trained surrogate: exact-simulate only uncertain or ranking-critical points, predict the rest with error bars")
+		sweepBudget  = flag.Int("sweep-budget", -1, "max exact sims spent on uncertainty refinement per sweep (with -surrogate; law/ranking-forced runs always execute; -1 = unlimited, 0 = none)")
+		rankings     = flag.Bool("rankings", false, "print per-app scheme-ranking lines under fig16 (always on with -surrogate)")
+		cacheLs      = flag.Bool("cache-ls", false, "enumerate the result cache (per-codec entry counts, bytes, stale/corrupt totals) and exit")
 	)
 	flag.Parse()
 
@@ -97,6 +104,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *cacheLs {
+		if err := listCache(os.Stdout, cache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var ledger *telemetry.Ledger
 	if *ledgerOut != "" || *perfettoOut != "" {
 		ledger = telemetry.NewLedger()
@@ -116,6 +130,7 @@ func main() {
 	ctx := experiments.NewContext(out, *instructions)
 	ctx.SetRunner(run)
 	ctx.SetContext(sigCtx)
+	ctx.Rankings = *rankings
 	if len(appList) > 0 {
 		ctx.Apps = appList
 	}
@@ -211,6 +226,13 @@ func main() {
 		}
 	}
 
+	if *surrogate {
+		// Enabled last: training snapshots the cache under the final
+		// options (the -sample block above changes result hashes), so it
+		// must run after every option mutation and before any experiment.
+		ctx.EnableSurrogate(experiments.SurrogateConfig{Budget: *sweepBudget})
+	}
+
 	start := time.Now()
 	if err := ctx.RunSelected(ids, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -244,6 +266,57 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *htmlOut)
 	}
+}
+
+// listCache enumerates the cache's disk tier and prints per-codec entry
+// counts and sizes plus stale/corrupt totals (the -cache-ls mode).
+func listCache(w io.Writer, cache *runner.Cache) error {
+	type bucket struct {
+		entries int
+		bytes   int64
+	}
+	kinds := map[string]*bucket{}
+	var total bucket
+	var stale, corrupt int
+	err := cache.Walk(func(e runner.WalkEntry) error {
+		total.entries++
+		total.bytes += e.Bytes
+		switch {
+		case e.Err != nil:
+			corrupt++
+			return nil
+		case e.Stale:
+			stale++
+			return nil
+		}
+		b := kinds[e.Codec]
+		if b == nil {
+			b = &bucket{}
+			kinds[e.Codec] = b
+		}
+		b.entries++
+		b.bytes += e.Bytes
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cache: %d entries, %d bytes\n", total.entries, total.bytes)
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "  %-10s %6d entries %12d bytes\n", k, kinds[k].entries, kinds[k].bytes)
+	}
+	if stale > 0 {
+		fmt.Fprintf(w, "  %-10s %6d entries\n", "stale", stale)
+	}
+	if corrupt > 0 {
+		fmt.Fprintf(w, "  %-10s %6d entries\n", "corrupt", corrupt)
+	}
+	return nil
 }
 
 // writeLedgerFile streams one ledger export to path.

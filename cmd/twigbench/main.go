@@ -7,6 +7,7 @@
 //	twigbench                          # measure, print table + delta vs baseline file
 //	twigbench -update                  # measure and rewrite the baseline file
 //	twigbench -check -tolerance 0.10   # measure and exit 1 on >10% kIPS regression
+//	twigbench -json                    # one JSON object per app instead of the table
 //
 // The baseline file keeps the single-app format cmd/twigstat -bench
 // introduced (benchmark/app/instructions/results), so -update and
@@ -69,6 +70,7 @@ func main() {
 		update       = flag.Bool("update", false, "rewrite the baseline file with this run's numbers (single app only)")
 		check        = flag.Bool("check", false, "exit 1 if any scheme regresses vs the baseline file (single app only)")
 		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional kIPS regression with -check")
+		jsonOut      = flag.Bool("json", false, "emit one JSON object per app (BENCH_pipeline.json schema plus per-scheme kIPS deltas vs the baseline file) instead of the table")
 	)
 	flag.Parse()
 
@@ -95,7 +97,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		printTable(app, *instructions, results, grouped, old)
+		if *jsonOut {
+			if err := printJSON(app, *instructions, results, grouped, old); err != nil {
+				fatal(err)
+			}
+		} else {
+			printTable(app, *instructions, results, grouped, old)
+		}
 
 		if *check {
 			if oldErr != nil {
@@ -232,6 +240,42 @@ func benchApp(app twig.App, train int, instructions int64, reps int, schemes []s
 		Speedup: float64(serialSum) / float64(best.Nanoseconds()),
 	}
 	return results, grouped, nil
+}
+
+// jsonReport is the -json output: the BENCH_pipeline.json schema (so
+// consumers of the committed baseline file parse it unchanged) plus a
+// per-scheme fractional kIPS delta against the baseline file when it
+// covers the same app and window.
+type jsonReport struct {
+	benchFile
+	// DeltaVsBaseline maps scheme → fractional sim-kIPS change vs the
+	// baseline file (+0.05 = 5% faster); only schemes present in both
+	// runs appear.
+	DeltaVsBaseline map[string]float64 `json:"delta_vs_baseline,omitempty"`
+}
+
+// printJSON writes one app's results as a single JSON object (one line;
+// several -apps yield JSON Lines).
+func printJSON(app twig.App, instructions int64, results []benchResult, grouped *groupedResult, old *benchFile) error {
+	rep := jsonReport{benchFile: benchFile{
+		Benchmark:    "pipeline",
+		App:          string(app),
+		Instructions: instructions,
+		Results:      results,
+		Grouped:      grouped,
+	}}
+	if old != nil && old.App == string(app) && old.Instructions == instructions {
+		for _, r := range results {
+			if prev, ok := lookup(old, r.Scheme); ok && prev.SimKIPS > 0 {
+				if rep.DeltaVsBaseline == nil {
+					rep.DeltaVsBaseline = map[string]float64{}
+				}
+				rep.DeltaVsBaseline[r.Scheme] = r.SimKIPS/prev.SimKIPS - 1
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(rep)
 }
 
 // printTable prints one app's results; when the baseline file covers

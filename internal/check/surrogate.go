@@ -1,0 +1,94 @@
+package check
+
+import "sort"
+
+// Interval is a point estimate with an uncertainty band, mirroring
+// surrogate.Stat without importing it (check sits below the surrogate
+// layer in the dependency order). Exact values carry Lo == Hi == Value.
+type Interval struct {
+	Value, Lo, Hi float64
+}
+
+// SchemeEstimate is one scheme's estimated metrics at a single grid
+// point, as assembled by the surrogate-pruned sweep driver. Predicted
+// marks values filled in by the surrogate rather than simulated.
+type SchemeEstimate struct {
+	Name      string
+	Predicted bool
+	IPC       Interval // instructions per cycle
+	MPKI      Interval // BTB misses per kilo-instruction
+	Accuracy  Interval // prefetch accuracy, percent
+}
+
+// CrossSchemePredicted applies the CrossScheme partial-order laws to a
+// grid point whose per-scheme metrics may be surrogate predictions,
+// and returns the names of the predicted schemes implicated in a
+// violation (sorted, deduplicated). The sweep driver forces every
+// returned scheme to exact simulation: a surrogate estimate that
+// breaks a law the simulator provably satisfies is by construction
+// wrong, so it is never allowed to stand regardless of the exact-sim
+// budget.
+//
+// The laws checked are the point-value forms of CrossScheme, evaluated
+// on the central estimates:
+//
+//   - every IPC is positive, every MPKI non-negative, every accuracy
+//     within [0, 100];
+//   - a predicted ideal-BTB run has (numerically) zero MPKI;
+//   - no scheme's IPC exceeds ideal's beyond IPCTolerance;
+//   - a predicted baseline has (numerically) zero prefetch accuracy;
+//   - "hierarchy" and "shadow" never miss more than the baseline
+//     (the structural bound from CrossScheme).
+//
+// Pairwise laws implicate only their predicted members — an exact
+// value cannot be "fixed" by re-simulating it. Laws that need a
+// baseline or ideal entry are skipped when that entry is absent.
+func CrossSchemePredicted(ests []SchemeEstimate) []string {
+	var base, ideal *SchemeEstimate
+	for i := range ests {
+		switch ests[i].Name {
+		case "baseline":
+			base = &ests[i]
+		case "ideal":
+			ideal = &ests[i]
+		}
+	}
+
+	bad := map[string]bool{}
+	implicate := func(members ...*SchemeEstimate) {
+		for _, m := range members {
+			if m.Predicted {
+				bad[m.Name] = true
+			}
+		}
+	}
+
+	const eps = 1e-6
+	for i := range ests {
+		e := &ests[i]
+		if e.IPC.Value <= 0 || e.MPKI.Value < 0 ||
+			e.Accuracy.Value < 0 || e.Accuracy.Value > 100 {
+			implicate(e)
+		}
+		if e.Name == "ideal" && e.MPKI.Value > eps {
+			implicate(e)
+		}
+		if e.Name == "baseline" && e.Accuracy.Value > eps {
+			implicate(e)
+		}
+		if ideal != nil && e.IPC.Value > ideal.IPC.Value*(1+IPCTolerance) {
+			implicate(e, ideal)
+		}
+		if base != nil && (e.Name == "hierarchy" || e.Name == "shadow") &&
+			e.MPKI.Value > base.MPKI.Value+eps {
+			implicate(e, base)
+		}
+	}
+
+	names := make([]string, 0, len(bad))
+	for n := range bad {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+)
+
+func exact(v float64) Interval { return Interval{Value: v, Lo: v, Hi: v} }
+
+func pred(v, half float64) Interval { return Interval{Value: v, Lo: v - half, Hi: v + half} }
+
+// A physically consistent grid point passes with no forced schemes.
+func TestCrossSchemePredictedClean(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "baseline", IPC: exact(1.0), MPKI: exact(20)},
+		{Name: "ideal", IPC: exact(1.5), MPKI: exact(0)},
+		{Name: "twig", Predicted: true, IPC: pred(1.3, 0.05), MPKI: pred(5, 1), Accuracy: pred(80, 3)},
+		{Name: "hierarchy", Predicted: true, IPC: pred(1.2, 0.05), MPKI: pred(8, 1), Accuracy: pred(0, 0)},
+	}
+	if got := CrossSchemePredicted(ests); len(got) != 0 {
+		t.Fatalf("clean point forced %v, want none", got)
+	}
+}
+
+// Predicted values breaking basic range laws are forced exact.
+func TestCrossSchemePredictedRangeLaws(t *testing.T) {
+	cases := []struct {
+		name string
+		est  SchemeEstimate
+	}{
+		{"nonpositive IPC", SchemeEstimate{Name: "twig", Predicted: true, IPC: pred(-0.1, 0.2), MPKI: pred(5, 1)}},
+		{"negative MPKI", SchemeEstimate{Name: "twig", Predicted: true, IPC: pred(1.1, 0.1), MPKI: pred(-2, 1)}},
+		{"accuracy above 100", SchemeEstimate{Name: "twig", Predicted: true, IPC: pred(1.1, 0.1), MPKI: pred(5, 1), Accuracy: pred(104, 2)}},
+	}
+	for _, c := range cases {
+		got := CrossSchemePredicted([]SchemeEstimate{c.est})
+		if !reflect.DeepEqual(got, []string{"twig"}) {
+			t.Errorf("%s: forced %v, want [twig]", c.name, got)
+		}
+	}
+}
+
+// A predicted scheme whose IPC exceeds ideal's beyond tolerance is
+// forced; an exact ideal partner is not (nothing to re-simulate).
+func TestCrossSchemePredictedIdealBound(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "ideal", IPC: exact(1.5), MPKI: exact(0)},
+		{Name: "shotgun", Predicted: true, IPC: pred(1.6, 0.01), MPKI: pred(3, 1)},
+	}
+	if got := CrossSchemePredicted(ests); !reflect.DeepEqual(got, []string{"shotgun"}) {
+		t.Fatalf("forced %v, want [shotgun]", got)
+	}
+	// When ideal itself is the prediction, both members are suspect but
+	// only the predicted one can be forced — here that is ideal.
+	ests = []SchemeEstimate{
+		{Name: "ideal", Predicted: true, IPC: pred(1.0, 0.1), MPKI: pred(0, 0)},
+		{Name: "shotgun", IPC: exact(1.6), MPKI: exact(3)},
+	}
+	if got := CrossSchemePredicted(ests); !reflect.DeepEqual(got, []string{"ideal"}) {
+		t.Fatalf("forced %v, want [ideal]", got)
+	}
+}
+
+// Hierarchy and shadow must not be predicted to miss more than the
+// baseline (the structural bound).
+func TestCrossSchemePredictedStructuralBound(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "baseline", IPC: exact(1.0), MPKI: exact(10)},
+		{Name: "shadow", Predicted: true, IPC: pred(1.1, 0.05), MPKI: pred(12, 1)},
+		{Name: "hierarchy", Predicted: true, IPC: pred(1.1, 0.05), MPKI: pred(9, 1)},
+	}
+	if got := CrossSchemePredicted(ests); !reflect.DeepEqual(got, []string{"shadow"}) {
+		t.Fatalf("forced %v, want [shadow]", got)
+	}
+}
+
+// A predicted ideal with nonzero misses and a predicted baseline with
+// nonzero accuracy are self-inconsistent.
+func TestCrossSchemePredictedRoleLaws(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "ideal", Predicted: true, IPC: pred(1.5, 0.1), MPKI: pred(0.5, 0.2)},
+		{Name: "baseline", Predicted: true, IPC: pred(1.0, 0.1), MPKI: pred(10, 1), Accuracy: pred(30, 5)},
+	}
+	if got := CrossSchemePredicted(ests); !reflect.DeepEqual(got, []string{"baseline", "ideal"}) {
+		t.Fatalf("forced %v, want [baseline ideal]", got)
+	}
+}
+
+// Violations among exact-only values force nothing: there is no
+// surrogate estimate to replace, and the exact-path oracles own those.
+func TestCrossSchemePredictedIgnoresExactViolations(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "ideal", IPC: exact(1.0), MPKI: exact(0)},
+		{Name: "twig", IPC: exact(1.6), MPKI: exact(3)},
+	}
+	if got := CrossSchemePredicted(ests); len(got) != 0 {
+		t.Fatalf("exact-only violation forced %v, want none", got)
+	}
+}
+
+// Laws needing baseline or ideal are skipped when those runs are not
+// part of the point (partial grids during active learning).
+func TestCrossSchemePredictedMissingAnchors(t *testing.T) {
+	ests := []SchemeEstimate{
+		{Name: "shadow", Predicted: true, IPC: pred(99, 1), MPKI: pred(12, 1)},
+	}
+	if got := CrossSchemePredicted(ests); len(got) != 0 {
+		t.Fatalf("anchorless point forced %v, want none", got)
+	}
+}

@@ -51,7 +51,7 @@ func TestSamplingCalibrationMatrix(t *testing.T) {
 		t.Skip("simulates a calibration matrix")
 	}
 	apps := []workload.App{workload.Drupal, workload.Kafka}
-	schemeNames := []string{"baseline", "twig"}
+	schemeNames := []string{"baseline", "twig", "hierarchy", "shadow"}
 	seeds := []uint64{0, 1, 2, 3, 4, 5}
 
 	opts := core.DefaultOptions()

@@ -17,15 +17,7 @@ import (
 // because large BTBs drive the ideal headroom toward zero at this
 // workload scale, which makes a ratio numerically meaningless.
 func (c *Context) sweepPoint(app workload.App, opts core.Options, key string) (twig, shotgun, confluence float64, err error) {
-	var art *core.Artifacts
-	if opts.BTB == c.Opts.BTB {
-		art, err = c.Artifacts(app, 0)
-	} else {
-		// A different BTB geometry changes the profile, so the whole
-		// profile→analyze→inject pipeline reruns at this point (as
-		// runner jobs, so the retraining profile is disk-cacheable).
-		art, err = c.ArtifactsOpts(app, 0, opts, key+"/")
-	}
+	art, err := c.sweepArtifacts(app, opts, key)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -56,12 +48,27 @@ func (c *Context) sweepPoint(app workload.App, opts core.Options, key string) (t
 		nil
 }
 
+// sweepArtifacts returns the artifacts for a sweep point: the shared
+// ones at the context's BTB geometry, or a rebuilt variant when the
+// point changes it (a different geometry changes the profile, so the
+// whole profile→analyze→inject pipeline reruns, as runner jobs, making
+// the retraining profile disk-cacheable).
+func (c *Context) sweepArtifacts(app workload.App, opts core.Options, key string) (*core.Artifacts, error) {
+	if opts.BTB == c.Opts.BTB {
+		return c.Artifacts(app, 0)
+	}
+	return c.ArtifactsOpts(app, 0, opts, key+"/")
+}
+
 func init() {
 	register(Experiment{
 		ID:    "fig23",
 		Title: "Speedup vs BTB capacity (2K-64K entries)",
 		Paper: "Twig outperforms Shotgun and Confluence at every BTB size (raw speedups here: beyond 8K entries the ideal headroom collapses at this scale, so a %-of-ideal ratio is meaningless)",
 		Run: func(c *Context) error {
+			if c.SurrogateOn() {
+				return fig23Pruned(c)
+			}
 			sizes := []int{2048, 4096, 8192, 16384, 32768, 65536}
 			t := metrics.NewTable("entries", "twig sp%", "shotgun sp%", "confluence sp%")
 			for _, s := range sizes {
@@ -87,6 +94,9 @@ func init() {
 		Title: "Speedup vs BTB associativity (4-128 ways)",
 		Paper: "Twig outperforms Shotgun and Confluence at every associativity (raw speedups; see fig23's note)",
 		Run: func(c *Context) error {
+			if c.SurrogateOn() {
+				return fig24Pruned(c)
+			}
 			ways := []int{4, 8, 16, 32, 64, 128}
 			t := metrics.NewTable("ways", "twig sp%", "shotgun sp%", "confluence sp%")
 			for _, w := range ways {

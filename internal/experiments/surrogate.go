@@ -1,0 +1,913 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"twig/internal/check"
+	"twig/internal/core"
+	"twig/internal/metrics"
+	"twig/internal/pipeline"
+	"twig/internal/runner"
+	"twig/internal/surrogate"
+	"twig/internal/workload"
+)
+
+// SurrogateConfig tunes the surrogate-pruned sweep mode (see
+// PERFORMANCE.md, "Surrogate-pruned sweeps"). Zero values mean the
+// defaults noted on each field.
+type SurrogateConfig struct {
+	// Budget caps how many exact simulations the driver may spend on
+	// points whose prediction is merely too wide (RelWidth above
+	// MaxRelWidth). Negative means unlimited. Law violations and
+	// ranking ambiguities always force exact simulation regardless of
+	// the budget: a prediction the partial-order oracle refutes, or one
+	// that could flip a reported scheme ranking, is never allowed to
+	// stand. The unlimited (negative) and zero settings keep pruned
+	// output deterministic under parallel figure rendering; a finite
+	// positive budget is consumed in completion order, so which figure
+	// spends it can vary between runs.
+	Budget int
+	// Confidence is the two-sided conformal interval level (default 0.9).
+	Confidence float64
+	// MaxRelWidth is the largest acceptable relative interval half-width
+	// for a filled-in IPC prediction (default 0.05).
+	MaxRelWidth float64
+	// MinTrain is the smallest per-model training set (default 8).
+	MinTrain int
+}
+
+func (cfg SurrogateConfig) withDefaults() SurrogateConfig {
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.9
+	}
+	if cfg.MaxRelWidth == 0 {
+		cfg.MaxRelWidth = 0.05
+	}
+	if cfg.MinTrain == 0 {
+		cfg.MinTrain = 8
+	}
+	return cfg
+}
+
+// EnableSurrogate switches the context's sweep experiments (fig16-20,
+// fig23, fig24) into surrogate-pruned mode: cached results train a
+// per-(scheme, metric) predictor, and grid points whose prediction is
+// tight, law-consistent and ranking-safe are filled in with estimates
+// carrying explicit error bars instead of being simulated. When the
+// context already has its runner attached, the training snapshot is
+// taken immediately — call EnableSurrogate after SetRunner and after
+// the options are final, and before running any experiment, so that
+// concurrently rendered figures all classify grid points against the
+// same frozen snapshot (that is what makes pruned output deterministic
+// under parallel rendering).
+func (c *Context) EnableSurrogate(cfg SurrogateConfig) {
+	c.sur = &surrogateState{cfg: cfg.withDefaults()}
+	if c.run != nil {
+		c.trainSurrogate()
+	}
+}
+
+// SurrogateOn reports whether surrogate-pruned mode is enabled.
+func (c *Context) SurrogateOn() bool { return c.sur != nil }
+
+// anchorCoord identifies the baseline run that anchors a grid point's
+// ratio predictions: the baseline result at the same workload, input
+// and frontend geometry. The Twig-side knobs (prefetch buffer,
+// distance, mask, coalescing) do not appear — baseline runs never
+// consult them.
+type anchorCoord struct {
+	app           workload.App
+	input         int
+	entries, ways int
+	ftq           int
+}
+
+func (p pointSpec) anchor() anchorCoord {
+	return anchorCoord{app: p.app, input: p.input, entries: p.entries, ways: p.ways, ftq: p.ftq}
+}
+
+// surrogateState is shared (by pointer, across Context clones) between
+// concurrently rendered figures: the snapshot and models are built
+// once, before any figure runs, and are immutable afterwards; only the
+// width-budget counter mutates under the lock.
+type surrogateState struct {
+	cfg SurrogateConfig
+
+	mu         sync.Mutex
+	trained    bool
+	trainN     int                           // training points recovered from the cache
+	data       map[string]*surrogate.Dataset // "scheme|metric"
+	models     map[string]*surrogate.Model
+	budgetUsed int
+
+	// snapshot holds every candidate grid point found in the cache at
+	// training time, keyed by memo key. Classification consults ONLY
+	// this frozen view — never the live cache — so the exact/cached/
+	// predicted split cannot depend on which concurrently rendered
+	// figure happened to finish a simulation first.
+	snapshot map[string]*pipeline.Result
+	// anchors indexes the snapshot's baseline results by coordinate for
+	// ratio-model anchoring.
+	anchors map[anchorCoord]*pipeline.Result
+
+	// testPredict, when set, is consulted before the fitted models.
+	// Tests inject deliberately wrong predictors through it to prove
+	// the gates force exact simulation.
+	testPredict func(scheme, metric string, x []float64) (surrogate.Stat, bool)
+}
+
+// surMetrics are the absolute modeled targets; every other reported
+// number is derived from these three by interval arithmetic. Scheme
+// points whose baseline anchor is in the snapshot additionally train
+// ratio targets ("ipcr", "mpkir"): the scheme-to-baseline IPC and MPKI
+// ratios are far more stable across evaluation inputs than the
+// absolute values (the scheme's relative effect travels; the input's
+// absolute difficulty does not), so anchored predictions carry much
+// tighter error bars.
+var surMetrics = []string{"ipc", "mpki", "acc"}
+
+func metricOf(res *pipeline.Result, metric string) float64 {
+	switch metric {
+	case "ipc":
+		return res.IPC()
+	case "mpki":
+		return res.MPKI()
+	default:
+		return res.Prefetch.Accuracy() * 100
+	}
+}
+
+// pointSpec identifies one grid point: the scheme, the workload, and
+// the structured configuration axes that the sweeps vary.
+type pointSpec struct {
+	scheme string
+	app    workload.App
+	input  int
+
+	entries, ways int     // BTB geometry
+	ftq, pbuf     int     // FTQ depth, prefetch buffer entries
+	dist          float64 // prefetch distance (cycles)
+	mask          int     // coalesce bitmask bits
+	nocoalesce    bool    // coalescing disabled (fig18's sw-only)
+	sameTrain     bool    // profile trained on the evaluated input (fig20)
+}
+
+// baseSpec is the point at the context's operating point.
+func (c *Context) baseSpec(scheme string, app workload.App, input int) pointSpec {
+	return pointSpec{
+		scheme: scheme, app: app, input: input,
+		entries: c.Opts.BTB.Entries, ways: c.Opts.BTB.Ways,
+		ftq: c.Opts.Pipeline.FTQSize, pbuf: c.Opts.PrefetchBuffer,
+		dist: c.Opts.Opt.PrefetchDistance, mask: c.Opts.Opt.CoalesceMaskBits,
+		nocoalesce: c.Opts.Opt.DisableCoalescing,
+	}
+}
+
+// hullAxes are the feature indices along which the model refuses to
+// extrapolate (the structured configuration axes, in the order laid
+// out by features). Application parameters and the evaluation input
+// are deliberately absent: generalizing across apps and inputs is the
+// surrogate's whole point, and the conformal calibration prices that
+// in.
+var hullAxes = []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// features maps the point to the model's feature vector: the
+// structured config axes (log-scaled where the sweeps are
+// exponential), the evaluation input, and the workload generator's
+// calibrated parameters, which is everything that determines a
+// deterministic run's outcome besides the scheme (part of the model
+// key).
+func (p pointSpec) features() []float64 {
+	pr := workload.MustParams(p.app)
+	skew := pr.MixSkew
+	if skew == 0 {
+		skew = workload.DefaultMixSkew
+	}
+	scale := pr.Scale
+	if scale == 0 {
+		scale = workload.DefaultScale
+	}
+	return []float64{
+		math.Log2(float64(p.entries)), math.Log2(float64(p.ways)),
+		math.Log2(float64(p.ftq)), math.Log2(float64(p.pbuf)),
+		p.dist, float64(p.mask), b2f(p.nocoalesce), b2f(p.sameTrain),
+		float64(p.input),
+		pr.BackendCPI, pr.CondMispredictRate, skew, pr.SharedCallProb,
+		pr.CallFanout, pr.LoopProb, pr.LoopMean, pr.DiamondProb,
+		pr.SwitchProb, pr.VirtualCallProb,
+		float64(pr.RequestTypes), float64(pr.FuncsPerRequest), float64(pr.SharedFuncs),
+		float64(pr.BlocksPerFunc), float64(pr.InstrsPerBlock),
+		scale, float64(pr.MaxDepth), float64(pr.SwitchWays), float64(pr.VirtualImpls),
+	}
+}
+
+// sweepSchemeKeys maps sweepPoint's memo-key shorthands to scheme
+// names, in the order sweepPoint runs them.
+var sweepSchemeKeys = []struct{ short, name string }{
+	{"base", "baseline"}, {"ideal", "ideal"}, {"twig", "twig"},
+	{"shot", "shotgun"}, {"conf", "confluence"},
+}
+
+type candidate struct {
+	key  string
+	spec pointSpec
+}
+
+// surrogateCandidates enumerates every memo key the experiment suite
+// can have written, paired with its grid point. The cache stores
+// results under one-way content hashes, so training works by hashing
+// this candidate grid and probing — roughly a thousand cheap lookups —
+// rather than by decoding configurations back out of hashes.
+func (c *Context) surrogateCandidates() []candidate {
+	var out []candidate
+	add := func(key string, spec pointSpec) {
+		out = append(out, candidate{key: key, spec: spec})
+	}
+	for _, app := range workload.Apps() {
+		for _, scheme := range core.SchemeNames {
+			for input := 0; input <= 3; input++ {
+				key, err := runner.SchemeMemoKey(scheme, app, input)
+				if err != nil {
+					continue
+				}
+				add(key, c.baseSpec(scheme, app, input))
+			}
+		}
+		for input := 1; input <= 3; input++ {
+			sp := c.baseSpec("twig", app, input)
+			sp.sameTrain = true
+			add(fmt.Sprintf("twig-same/%s/%d", app, input), sp)
+		}
+		swOnly := c.baseSpec("twig", app, 0)
+		swOnly.nocoalesce = true
+		add(fmt.Sprintf("swonly/%s", app), swOnly)
+		big := c.baseSpec("baseline", app, 0)
+		big.entries = 32768
+		add(fmt.Sprintf("btb%d/%s", 32768, app), big)
+
+		for _, s := range []int{2048, 4096, 8192, 16384, 32768, 65536} {
+			for _, sk := range sweepSchemeKeys {
+				sp := c.baseSpec(sk.name, app, 0)
+				sp.entries = s
+				add(fmt.Sprintf("swp-%s/size%d/%s", sk.short, s, app), sp)
+			}
+		}
+		for _, w := range []int{4, 8, 16, 32, 64, 128} {
+			for _, sk := range sweepSchemeKeys {
+				sp := c.baseSpec(sk.name, app, 0)
+				sp.ways = w
+				add(fmt.Sprintf("swp-%s/ways%d/%s", sk.short, w, app), sp)
+			}
+		}
+		for _, s := range []int{8, 16, 32, 64, 128, 256} {
+			sp := c.baseSpec("twig", app, 0)
+			sp.pbuf = s
+			add(fmt.Sprintf("buf%d/%s", s, app), sp)
+		}
+		for _, d := range []float64{0, 5, 10, 15, 20, 25, 30, 40, 50} {
+			sp := c.baseSpec("twig", app, 0)
+			sp.dist = d
+			add(fmt.Sprintf("dist%.0f/%s", d, app), sp)
+		}
+		for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+			sp := c.baseSpec("twig", app, 0)
+			sp.mask = w
+			add(fmt.Sprintf("mask%d/%s", w, app), sp)
+		}
+		for _, d := range []int{1, 2, 4, 8, 16, 24, 32, 64} {
+			for _, sk := range sweepSchemeKeys[:3] { // base, ideal, twig
+				sp := c.baseSpec(sk.name, app, 0)
+				sp.ftq = d
+				add(fmt.Sprintf("ftq%d-%s/%s", d, sk.short, app), sp)
+			}
+		}
+	}
+	return out
+}
+
+// peekResult returns the run's result when it is already memoized in
+// this process or present in the cache, entirely side-effect free (no
+// hit/miss counters move, nothing is promoted or evicted).
+func (c *Context) peekResult(key string) (*pipeline.Result, bool) {
+	if v, ok := c.run.Memoized("run/" + key); ok {
+		return v.(*pipeline.Result), true
+	}
+	if h := c.simHash(key); h != "" {
+		if cache := c.run.Cache(); cache != nil {
+			if v, ok := cache.Peek(h, runner.ResultCodec{}); ok {
+				return v.(*pipeline.Result), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// trainSurrogate (once) probes the candidate grid against the memo
+// table and cache, freezes the snapshot, and fits the per-(scheme,
+// metric) models. It is safe to call from concurrently rendered
+// figures, but EnableSurrogate normally runs it before any figure
+// starts so the snapshot predates every simulation of this process.
+func (c *Context) trainSurrogate() {
+	st := c.sur
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.trained {
+		return
+	}
+	st.trained = true
+	st.data = map[string]*surrogate.Dataset{}
+	st.snapshot = map[string]*pipeline.Result{}
+	st.anchors = map[anchorCoord]*pipeline.Result{}
+	cands := c.surrogateCandidates()
+	for _, cand := range cands {
+		res, ok := c.peekResult(cand.key)
+		if !ok {
+			continue
+		}
+		st.snapshot[cand.key] = res
+		if cand.spec.scheme == "baseline" {
+			st.anchors[cand.spec.anchor()] = res
+		}
+		st.trainN++
+	}
+	for _, cand := range cands {
+		res, ok := st.snapshot[cand.key]
+		if !ok {
+			continue
+		}
+		addTraining(st.data, cand.spec, res, st.anchors[cand.spec.anchor()])
+	}
+	st.models = fitModels(st.data, st.cfg)
+}
+
+// addTraining folds one exact result into the datasets: the three
+// absolute targets always, and the baseline-anchored ratio targets
+// when the point's anchor is known and the point is not itself the
+// baseline.
+func addTraining(data map[string]*surrogate.Dataset, spec pointSpec, res, anchor *pipeline.Result) {
+	x := spec.features()
+	add := func(key string, y float64) {
+		d := data[key]
+		if d == nil {
+			d = surrogate.NewDataset(len(x))
+			data[key] = d
+		}
+		d.Add(x, y)
+	}
+	for _, m := range surMetrics {
+		add(spec.scheme+"|"+m, metricOf(res, m))
+	}
+	if anchor == nil || spec.scheme == "baseline" {
+		return
+	}
+	if b := anchor.IPC(); b > 0 {
+		add(spec.scheme+"|ipcr", res.IPC()/b)
+	}
+	if b := anchor.MPKI(); b > 0 {
+		add(spec.scheme+"|mpkir", res.MPKI()/b)
+	}
+}
+
+// fitModels fits one model per (scheme, metric) dataset, skipping
+// datasets below the training minimum (their points simulate exactly).
+func fitModels(data map[string]*surrogate.Dataset, cfg SurrogateConfig) map[string]*surrogate.Model {
+	models := make(map[string]*surrogate.Model, len(data))
+	for k, d := range data {
+		m, err := surrogate.Fit(d, surrogate.Config{
+			Confidence: cfg.Confidence,
+			MinSamples: cfg.MinTrain,
+		})
+		if err == nil {
+			models[k] = m
+		}
+	}
+	return models
+}
+
+// scaleStat multiplies a stat by a non-negative constant (anchored
+// ratio predictions scale by the exact baseline value).
+func scaleStat(s surrogate.Stat, k float64) surrogate.Stat {
+	return surrogate.Stat{Value: s.Value * k, Lo: s.Lo * k, Hi: s.Hi * k}
+}
+
+// predictWith returns all three metric predictions for the point from
+// the given model set, or ok=false when any metric has no model or the
+// point falls outside the training hull on a structured config axis.
+// When the point's exact baseline anchor is available, IPC and MPKI
+// prefer the anchored ratio models (much tighter across inputs); the
+// absolute models are the fallback.
+func (st *surrogateState) predictWith(models map[string]*surrogate.Model, spec pointSpec, anchor *pipeline.Result) (ipc, mpki, acc surrogate.Stat, ok bool) {
+	x := spec.features()
+	abs := func(metric string) (surrogate.Stat, bool) {
+		if st.testPredict != nil {
+			if s, ok := st.testPredict(spec.scheme, metric, x); ok {
+				return s, true
+			}
+		}
+		m := models[spec.scheme+"|"+metric]
+		if m == nil || !m.InHull(x, hullAxes) {
+			return surrogate.Stat{}, false
+		}
+		return m.Predict(x), true
+	}
+	anchored := func(metric, ratioMetric string, base float64) (surrogate.Stat, bool) {
+		if st.testPredict == nil && anchor != nil && base > 0 {
+			if m := models[spec.scheme+"|"+ratioMetric]; m != nil && m.InHull(x, hullAxes) {
+				return scaleStat(m.Predict(x), base), true
+			}
+		}
+		return abs(metric)
+	}
+	var okI, okM, okA bool
+	if spec.scheme == "baseline" {
+		anchor = nil // a baseline point never anchors on itself
+	}
+	var baseIPC, baseMPKI float64
+	if anchor != nil {
+		baseIPC, baseMPKI = anchor.IPC(), anchor.MPKI()
+	}
+	if ipc, okI = anchored("ipc", "ipcr", baseIPC); !okI {
+		return ipc, mpki, acc, false
+	}
+	if mpki, okM = anchored("mpki", "mpkir", baseMPKI); !okM {
+		return ipc, mpki, acc, false
+	}
+	if mpki.Lo < 0 {
+		mpki.Lo = 0
+	}
+	if acc, okA = abs("acc"); !okA {
+		return ipc, mpki, acc, false
+	}
+	return ipc, mpki, acc, true
+}
+
+// spendBudget consumes one unit of the width-forced exact-sim budget;
+// false means the budget is exhausted and the (wide) prediction stands.
+func (st *surrogateState) spendBudget() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cfg.Budget >= 0 && st.budgetUsed >= st.cfg.Budget {
+		return false
+	}
+	st.budgetUsed++
+	return true
+}
+
+// pointEst is one resolved grid point: its provenance, the three metric
+// estimates (degenerate intervals when exact), and — for exact points —
+// the raw result.
+type pointEst struct {
+	Prov string // "cached" | "exact" | "predicted"
+	IPC  surrogate.Stat
+	MPKI surrogate.Stat
+	Acc  surrogate.Stat
+	Res  *pipeline.Result
+}
+
+func exactEst(res *pipeline.Result, prov string) pointEst {
+	return pointEst{
+		Prov: prov,
+		IPC:  surrogate.Exact(res.IPC()),
+		MPKI: surrogate.Exact(res.MPKI()),
+		Acc:  surrogate.Exact(res.Prefetch.Accuracy() * 100),
+		Res:  res,
+	}
+}
+
+func ival(s surrogate.Stat) check.Interval {
+	return check.Interval{Value: s.Value, Lo: s.Lo, Hi: s.Hi}
+}
+
+// prefetchScheme marks the schemes whose relative order the figures
+// report; an ambiguous predicted ranking among them forces exact runs.
+var prefetchScheme = map[string]bool{
+	"twig": true, "shotgun": true, "confluence": true,
+	"hierarchy": true, "shadow": true,
+}
+
+// rankMode is the strength of the ranking gate at a site.
+type rankMode int
+
+const (
+	// rankNone: the figure reports per-scheme values only; no ordering
+	// to protect.
+	rankNone rankMode = iota
+	// rankInterval: the figure's cells carry printed error bars, so an
+	// ordering that could flip inside them is hedged on the page;
+	// exact runs are forced only when predicted prefetch-scheme IPC
+	// intervals overlap.
+	rankInterval
+	// rankExact: the figure prints a bare ordering (fig16's ranking
+	// lines) — a discrete claim no error bar can hedge. Disjoint
+	// conformal intervals still miss their true value at the nominal
+	// rate, which is exactly a ranking flip, so predicted prefetch
+	// schemes are always forced to exact simulation here: reported
+	// orderings rest on the simulator, never on the model.
+	rankExact
+)
+
+// groupGate describes what a figure reports at a site, which decides
+// which predictions are acceptable there: metric names the reported
+// quantity (its interval width is held to MaxRelWidth; the other
+// metrics may be wide — their bars are simply printed if derived), and
+// rank sets the ranking gate's strength. The cross-scheme laws apply
+// regardless.
+type groupGate struct {
+	metric string // "ipc" | "mpki" | "acc"
+	rank   rankMode
+}
+
+func (g groupGate) width(ipc, mpki, acc surrogate.Stat) float64 {
+	switch g.metric {
+	case "mpki":
+		return mpki.RelWidth()
+	case "acc":
+		return acc.RelWidth()
+	default:
+		return ipc.RelWidth()
+	}
+}
+
+// gateForced returns the predicted schemes at a site that must be
+// forced to exact simulation: violators of the cross-scheme laws
+// always, plus whatever the site's ranking gate (see rankMode) demands
+// of the prefetch schemes whose order the figure reports.
+func gateForced(est map[string]pointEst, names []string, gate groupGate) []string {
+	ests := make([]check.SchemeEstimate, 0, len(names))
+	for _, n := range names {
+		e := est[n]
+		ests = append(ests, check.SchemeEstimate{
+			Name:      n,
+			Predicted: e.Prov == "predicted",
+			IPC:       ival(e.IPC),
+			MPKI:      ival(e.MPKI),
+			Accuracy:  ival(e.Acc),
+		})
+	}
+	forced := map[string]bool{}
+	for _, n := range check.CrossSchemePredicted(ests) {
+		forced[n] = true
+	}
+	var rank []string
+	for _, n := range names {
+		if prefetchScheme[n] {
+			rank = append(rank, n)
+		}
+	}
+	switch gate.rank {
+	case rankExact:
+		for _, n := range rank {
+			if est[n].Prov == "predicted" {
+				forced[n] = true
+			}
+		}
+	case rankInterval:
+		for i := 0; i < len(rank); i++ {
+			for j := i + 1; j < len(rank); j++ {
+				a, b := est[rank[i]], est[rank[j]]
+				if !a.IPC.Predicted() && !b.IPC.Predicted() {
+					continue
+				}
+				if a.IPC.Lo <= b.IPC.Hi && b.IPC.Lo <= a.IPC.Hi {
+					if a.IPC.Predicted() {
+						forced[rank[i]] = true
+					}
+					if b.IPC.Predicted() {
+						forced[rank[j]] = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(forced))
+	for n := range forced {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveGroup resolves one site's schemes against a model set:
+// points in the training snapshot replay for free, predictable points
+// are filled in by the surrogate, and everything else — plus whatever
+// the law gate (and, when gate.ranked, the ranking gate) rejects —
+// simulates exactly. When the group includes the baseline scheme and
+// models exist, the baseline resolves exact first and anchors the
+// other schemes' ratio predictions: one exact run buys tight error
+// bars for the rest of the group. runExact must return the exact
+// results for a subset of names (memoized, so re-requesting a name is
+// free). Classification consults only the frozen snapshot and models,
+// so a group's provenance split is a pure function of the training
+// cache — independent of which concurrently rendered figure simulated
+// what first.
+func (c *Context) resolveGroup(
+	t *surTally,
+	names []string,
+	models map[string]*surrogate.Model,
+	gate groupGate,
+	keyOf func(name string) (string, error),
+	specOf func(name string) pointSpec,
+	runExact func(names []string) (map[string]*pipeline.Result, error),
+) (map[string]pointEst, error) {
+	st := c.sur
+	est := make(map[string]pointEst, len(names))
+	cached := map[string]bool{}
+	hasBaseline := false
+	for _, n := range names {
+		key, err := keyOf(n)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := st.snapshot[key]; ok {
+			cached[n] = true
+		}
+		if n == "baseline" {
+			hasBaseline = true
+		}
+	}
+	run := func(ns []string) error {
+		if len(ns) == 0 {
+			return nil
+		}
+		runs, err := runExact(ns)
+		if err != nil {
+			return err
+		}
+		for _, n := range ns {
+			prov := "exact"
+			if cached[n] {
+				prov = "cached"
+			}
+			est[n] = exactEst(runs[n], prov)
+		}
+		return nil
+	}
+	var anchor *pipeline.Result
+	if hasBaseline && len(models) > 0 {
+		if err := run([]string{"baseline"}); err != nil {
+			return nil, err
+		}
+		anchor = est["baseline"].Res
+	}
+	var exacts []string
+	for _, n := range names {
+		if _, done := est[n]; done {
+			continue
+		}
+		if cached[n] {
+			exacts = append(exacts, n)
+			continue
+		}
+		a := anchor
+		if a == nil {
+			a = st.anchors[specOf(n).anchor()]
+		}
+		if ipc, mpki, acc, ok := st.predictWith(models, specOf(n), a); ok {
+			if gate.width(ipc, mpki, acc) <= st.cfg.MaxRelWidth || !st.spendBudget() {
+				est[n] = pointEst{Prov: "predicted", IPC: ipc, MPKI: mpki, Acc: acc}
+				continue
+			}
+		}
+		exacts = append(exacts, n)
+	}
+	if err := run(exacts); err != nil {
+		return nil, err
+	}
+	// Forcing a scheme exact changes the estimates the gates see, so
+	// iterate to a fixed point; exact values can't be forced again, so
+	// each pass strictly shrinks the predicted set.
+	for iter := 0; iter < 3; iter++ {
+		forced := gateForced(est, names, gate)
+		if len(forced) == 0 {
+			break
+		}
+		if err := run(forced); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range names {
+		t.add(est[n].Prov)
+	}
+	return est, nil
+}
+
+// resolveSite resolves the named schemes at (app, input) using the
+// shared models and the grouped scheme runner. gate describes what the
+// figure reports at the site (metric gated for width; ranking gate).
+func (c *Context) resolveSite(t *surTally, app workload.App, input int, names []string, gate groupGate) (map[string]pointEst, error) {
+	c.trainSurrogate()
+	return c.resolveGroup(t, names, c.sur.models, gate,
+		func(n string) (string, error) { return runner.SchemeMemoKey(n, app, input) },
+		func(n string) pointSpec { return c.baseSpec(n, app, input) },
+		func(ns []string) (map[string]*pipeline.Result, error) {
+			return c.Schemes(app, input, ns...)
+		})
+}
+
+// resolvePoint resolves a single non-scheme-keyed grid point (the 32K
+// BTB comparison, fig18's sw-only build, fig20's same-input runs). The
+// single-point laws and the width gate apply; there is no ranking to
+// protect.
+func (c *Context) resolvePoint(t *surTally, key string, spec pointSpec, exact func() (*pipeline.Result, error)) (pointEst, error) {
+	c.trainSurrogate()
+	st := c.sur
+	if _, ok := st.snapshot[key]; ok {
+		res, err := exact() // memoized or cached: replays for free
+		if err != nil {
+			return pointEst{}, err
+		}
+		t.add("cached")
+		return exactEst(res, "cached"), nil
+	}
+	if ipc, mpki, acc, ok := st.predictWith(st.models, spec, st.anchors[spec.anchor()]); ok {
+		pe := pointEst{Prov: "predicted", IPC: ipc, MPKI: mpki, Acc: acc}
+		lawClean := len(check.CrossSchemePredicted([]check.SchemeEstimate{{
+			Name: spec.scheme, Predicted: true,
+			IPC: ival(ipc), MPKI: ival(mpki), Accuracy: ival(acc),
+		}})) == 0
+		if lawClean && (ipc.RelWidth() <= st.cfg.MaxRelWidth || !st.spendBudget()) {
+			t.add("predicted")
+			return pe, nil
+		}
+	}
+	res, err := exact()
+	if err != nil {
+		return pointEst{}, err
+	}
+	t.add("exact")
+	return exactEst(res, "exact"), nil
+}
+
+// surTally counts a figure's grid points by provenance for the summary
+// line.
+type surTally struct {
+	mu                       sync.Mutex
+	exact, cached, predicted int
+}
+
+func (t *surTally) add(prov string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch prov {
+	case "cached":
+		t.cached++
+	case "predicted":
+		t.predicted++
+	default:
+		t.exact++
+	}
+}
+
+// summary renders the figure's pruning outcome. The headline ratio
+// compares against what a full grid would have simulated: cached
+// points are free either way, so the full grid costs grid-cached exact
+// sims and the pruned run cost `exact`.
+func (t *surTally) summary(fig string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	grid := t.exact + t.cached + t.predicted
+	head := fmt.Sprintf("surrogate: %s: %d grid points: %d exact, %d cached, %d predicted",
+		fig, grid, t.exact, t.cached, t.predicted)
+	if t.exact == 0 {
+		return head + " (no exact sims)"
+	}
+	ratio := float64(grid-t.cached) / float64(t.exact)
+	return fmt.Sprintf("%s; %.1fx fewer exact sims than full grid", head, ratio)
+}
+
+// rankOrder sorts the prefetch schemes present in ipc by descending
+// IPC, ties broken alphabetically so the line is deterministic.
+func rankOrder(ipc map[string]float64) []string {
+	var names []string
+	for n := range ipc {
+		if prefetchScheme[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if ipc[names[i]] != ipc[names[j]] {
+			return ipc[names[i]] > ipc[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func rankLine(app workload.App, ipc map[string]float64) string {
+	return fmt.Sprintf("ranking[%s]: %s", app, strings.Join(rankOrder(ipc), " > "))
+}
+
+// rankLineEst is rankLine over resolved estimates.
+func rankLineEst(app workload.App, est map[string]pointEst) string {
+	ipc := make(map[string]float64, len(est))
+	for n, e := range est {
+		ipc[n] = e.IPC.Value
+	}
+	return rankLine(app, ipc)
+}
+
+// rankLineRes is rankLine over exact results (the full-grid -rankings
+// mode; it must render byte-identically to the pruned mode's lines
+// when the rankings agree).
+func rankLineRes(app workload.App, runs map[string]*pipeline.Result) string {
+	ipc := make(map[string]float64, len(runs))
+	for n, res := range runs {
+		ipc[n] = res.IPC()
+	}
+	return rankLine(app, ipc)
+}
+
+// --- interval arithmetic on derived metrics ---
+
+// cornerStat evaluates f at the point values and bounds it over the
+// interval corners. The derived metrics (speedup, coverage, % of
+// ideal) are monotone in each argument over the realized ranges, so
+// the corner extremes are the true interval ends; scanning corners
+// rather than hand-deriving directions keeps the guards in metrics
+// (zero denominators, clamps) safe to compose.
+func cornerStat(a, b surrogate.Stat, f func(a, b float64) float64) surrogate.Stat {
+	v := f(a.Value, b.Value)
+	lo, hi := v, v
+	for _, x := range []float64{a.Lo, a.Hi} {
+		for _, y := range []float64{b.Lo, b.Hi} {
+			w := f(x, y)
+			lo = math.Min(lo, w)
+			hi = math.Max(hi, w)
+		}
+	}
+	return surrogate.Stat{Value: v, Lo: lo, Hi: hi}
+}
+
+// speedupEst is the speedup of x over base with propagated error bars.
+func speedupEst(base, x pointEst) surrogate.Stat {
+	return cornerStat(base.IPC, x.IPC, func(b, i float64) float64 {
+		return metrics.Speedup(b, i)
+	})
+}
+
+// coverageEst is x's BTB miss coverage relative to base. Exact pairs
+// use the miss counters directly (matching the full-grid tables);
+// predicted points derive coverage from the MPKI ratio — both runs of
+// a site retire the same original-instruction stream, so the ratio of
+// MPKIs is the ratio of misses.
+func coverageEst(base, x pointEst) surrogate.Stat {
+	if base.Res != nil && x.Res != nil {
+		return surrogate.Exact(metrics.Coverage(base.Res.BTB.DirectMisses(), x.Res.BTB.DirectMisses()))
+	}
+	cov := func(b, m float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		v := (1 - m/b) * 100
+		return math.Max(0, math.Min(100, v))
+	}
+	return cornerStat(base.MPKI, x.MPKI, cov)
+}
+
+// pctOfIdealEst expresses sp as a share of idealSp with propagated
+// error bars.
+func pctOfIdealEst(sp, idealSp surrogate.Stat) surrogate.Stat {
+	return cornerStat(sp, idealSp, func(s, i float64) float64 {
+		return metrics.PercentOfIdeal(s, i)
+	})
+}
+
+// meanStat averages stats componentwise (the "average" table rows).
+func meanStat(stats []surrogate.Stat) surrogate.Stat {
+	var v, lo, hi []float64
+	for _, s := range stats {
+		v = append(v, s.Value)
+		lo = append(lo, s.Lo)
+		hi = append(hi, s.Hi)
+	}
+	return surrogate.Stat{Value: metrics.Mean(v), Lo: metrics.Mean(lo), Hi: metrics.Mean(hi)}
+}
+
+// cell renders a stat as a table cell: exact values keep the standard
+// numeric formatting; predictions carry their half-width and a
+// trailing * marking surrogate provenance.
+func cell(s surrogate.Stat) any {
+	if !s.Predicted() {
+		return s.Value
+	}
+	return fmt.Sprintf("%.2f±%.2f*", s.Value, s.Width()/2)
+}
+
+func statValues(stats []surrogate.Stat) []float64 {
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = s.Value
+	}
+	return out
+}

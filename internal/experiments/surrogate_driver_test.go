@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twig/internal/runner"
+	"twig/internal/surrogate"
+	"twig/internal/workload"
+)
+
+// The surrogate-driver tests run real (tiny-window) simulations: a
+// warm cache of the fig20 site grid — three evaluation inputs per app —
+// trains the models, and the pruned figures are then exercised against
+// input 0, the held-out operating point every evaluation figure
+// reports.
+
+const surTestWindow = 60_000
+
+var surTestApps = []workload.App{workload.Drupal, workload.Kafka, workload.Verilator}
+
+// newSurCtx builds a quiet context over a cache directory.
+func newSurCtx(t *testing.T, dir string, out io.Writer) *Context {
+	t.Helper()
+	cache, err := runner.OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewContext(out, surTestWindow)
+	c.Apps = surTestApps
+	c.SetRunner(runner.New(runner.Options{Workers: 4, Cache: cache}))
+	return c
+}
+
+// warmSiteGrid simulates every scheme at the given inputs into the
+// context's cache (the fig20 site grid when inputs = 1..3).
+func warmSiteGrid(t *testing.T, c *Context, apps []workload.App, inputs []int) {
+	t.Helper()
+	for _, app := range apps {
+		for _, in := range inputs {
+			if _, err := c.Schemes(app, in, allSchemeNames...); err != nil {
+				t.Fatalf("warming %s input %d: %v", app, in, err)
+			}
+		}
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runPruned renders the given experiments in surrogate mode over a
+// private copy of the warm cache (so the run's own stores cannot leak
+// into another run's training snapshot) and returns the output.
+func runPruned(t *testing.T, warmDir string, cfg SurrogateConfig, ids ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	copyDir(t, warmDir, dir)
+	var buf bytes.Buffer
+	c := newSurCtx(t, dir, &buf)
+	c.EnableSurrogate(cfg)
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		if err := c.RunOne(e); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	return buf.String()
+}
+
+// TestSurrogatePrunedDeterminism pins that pruned output — including
+// the exact/cached/predicted split in the summary lines and every
+// ±-annotated cell — is a pure function of the training cache and the
+// budget: two runs over identical cache copies must agree byte for
+// byte.
+func TestSurrogatePrunedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the fig20 site grid")
+	}
+	warm := t.TempDir()
+	warmSiteGrid(t, newSurCtx(t, warm, io.Discard), surTestApps, []int{1, 2, 3})
+
+	cfg := SurrogateConfig{Budget: -1}
+	ids := []string{"fig16", "fig17", "fig19"}
+	a := runPruned(t, warm, cfg, ids...)
+	b := runPruned(t, warm, cfg, ids...)
+	if a != b {
+		t.Fatalf("pruned output diverged between identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	for _, id := range ids {
+		if !strings.Contains(a, "surrogate: "+id+":") {
+			t.Errorf("missing pruning summary for %s", id)
+		}
+	}
+	if !strings.Contains(a, "ranking[") {
+		t.Errorf("pruned fig16 printed no ranking lines")
+	}
+}
+
+// TestSurrogateRankingPreserved checks the pruned fig16 against the
+// committed full-grid ranking fixture: the per-app scheme orderings the
+// surrogate mode reports must be identical to the ones exact
+// simulation produces at this window. The fixture also guards the
+// full-grid side — if the simulator's scheme ordering shifts, the
+// fixture must be regenerated consciously (see testdata/README).
+func TestSurrogateRankingPreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the fig20 site grid")
+	}
+	fixture, err := os.ReadFile(filepath.Join("testdata", "surrogate_rankings.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(string(fixture))
+
+	warm := t.TempDir()
+	c := newSurCtx(t, warm, io.Discard)
+	warmSiteGrid(t, c, surTestApps, []int{1, 2, 3})
+
+	// Full-grid reference rankings from exact runs at input 0.
+	var fullLines []string
+	for _, app := range surTestApps {
+		runs, err := c.Schemes(app, 0, allSchemeNames...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullLines = append(fullLines, rankLineRes(app, runs))
+	}
+	full := strings.Join(fullLines, "\n")
+	if full != want {
+		t.Fatalf("full-grid rankings diverge from committed fixture:\n got:\n%s\nwant:\n%s", full, want)
+	}
+
+	// The pruned run trains on the warm grid only (its cache copy was
+	// taken before the exact input-0 reference runs above landed).
+	out := runPruned(t, warm, SurrogateConfig{Budget: -1}, "fig16")
+	var prunedLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ranking[") {
+			prunedLines = append(prunedLines, line)
+		}
+	}
+	if pruned := strings.Join(prunedLines, "\n"); pruned != want {
+		t.Fatalf("pruned rankings diverge from full grid:\n got:\n%s\nwant:\n%s", pruned, want)
+	}
+}
+
+// TestSurrogateCalibration mirrors the interval-sampling calibration
+// harness for the surrogate: models trained on the warm cross-input
+// grid (inputs 1 and 3) predict the held-out input-2 points, and the
+// conformal error bars must contain the exact simulated value at no
+// worse than double the nominal miss rate. The held-out input is a
+// cross input like the training ones — that exchangeability is the
+// conformal contract. (Input 0, the profile-training input, is
+// systematically shifted; predictions there are protected by the
+// width, law and ranking gates rather than by the interval level, see
+// PERFORMANCE.md.) Everything is deterministic, so this is a
+// regression gate rather than a statistical coin flip.
+func TestSurrogateCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the fig20 site grid")
+	}
+	calApps := []workload.App{workload.Drupal, workload.Kafka, workload.Verilator, workload.Cassandra}
+	warm := t.TempDir()
+	c := newSurCtx(t, warm, io.Discard)
+	warmSiteGrid(t, c, calApps, []int{1, 3})
+	c.EnableSurrogate(SurrogateConfig{Budget: -1})
+	st := c.sur
+	if st.trainN == 0 {
+		t.Fatal("training snapshot is empty")
+	}
+
+	checks, missed := 0, 0
+	var missDetail []string
+	for _, app := range calApps {
+		runs, err := c.Schemes(app, 2, allSchemeNames...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor := runs["baseline"]
+		for _, scheme := range allSchemeNames {
+			if scheme == "baseline" {
+				continue
+			}
+			spec := c.baseSpec(scheme, app, 2)
+			ipc, mpki, acc, ok := st.predictWith(st.models, spec, anchor)
+			if !ok {
+				t.Errorf("%s/%s: no prediction (models missing or out of hull)", app, scheme)
+				continue
+			}
+			exact := runs[scheme]
+			for _, m := range []struct {
+				name  string
+				got   surrogate.Stat
+				exact float64
+			}{
+				{"IPC", ipc, exact.IPC()},
+				{"MPKI", mpki, exact.MPKI()},
+				{"Accuracy", acc, exact.Prefetch.Accuracy() * 100},
+			} {
+				checks++
+				if m.exact < m.got.Lo || m.exact > m.got.Hi {
+					missed++
+					missDetail = append(missDetail, strings.Join([]string{string(app), scheme, m.name}, "/"))
+				}
+			}
+		}
+	}
+	// 90% nominal coverage: tolerate up to double the nominal miss rate.
+	allowed := checks * 2 / 10
+	if missed > allowed {
+		t.Fatalf("calibration: %d of %d intervals missed their exact value (allowed %d): %v",
+			missed, checks, allowed, missDetail)
+	}
+	t.Logf("calibration: %d of %d intervals missed (allowed %d)", missed, checks, allowed)
+}
+
+// lawBreaker is a test predictor whose twig estimates are absurdly
+// confident and lawless (IPC far above ideal's, with tiny bars), while
+// every other scheme has no prediction at all.
+func lawBreaker(scheme, metric string, x []float64) (surrogate.Stat, bool) {
+	if scheme != "twig" {
+		return surrogate.Stat{}, false
+	}
+	switch metric {
+	case "ipc":
+		return surrogate.Stat{Value: 1e6, Lo: 1e6 - 1, Hi: 1e6 + 1}, true
+	case "mpki":
+		return surrogate.Stat{Value: 1, Lo: 0.9, Hi: 1.1}, true
+	default:
+		return surrogate.Stat{Value: 50, Lo: 49, Hi: 51}, true
+	}
+}
+
+// TestSurrogateLawGateForcesExact injects a predictor that violates
+// the cross-scheme partial order (twig IPC far beyond ideal's) and
+// checks the law gate discards the prediction: the resolved point must
+// be exact, carrying the simulator's value, not the predictor's.
+func TestSurrogateLawGateForcesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a site of tiny simulations")
+	}
+	c := newSurCtx(t, t.TempDir(), io.Discard)
+	c.EnableSurrogate(SurrogateConfig{Budget: -1})
+	c.sur.testPredict = lawBreaker
+
+	tally := &surTally{}
+	est, err := c.resolveSite(tally, workload.Drupal, 0,
+		[]string{"baseline", "ideal", "twig"}, groupGate{metric: "ipc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := est["twig"]
+	if tw.Prov != "exact" || tw.Res == nil {
+		t.Fatalf("law-violating prediction stood: %+v", tw)
+	}
+	if tw.IPC.Value >= 1e5 {
+		t.Fatalf("exact resolution kept the predictor's IPC: %v", tw.IPC)
+	}
+}
+
+// widePredictor returns lawful but hopelessly wide twig estimates.
+func widePredictor(scheme, metric string, x []float64) (surrogate.Stat, bool) {
+	if scheme != "twig" {
+		return surrogate.Stat{}, false
+	}
+	switch metric {
+	case "ipc":
+		return surrogate.Stat{Value: 1.0, Lo: 0.5, Hi: 1.5}, true
+	case "mpki":
+		return surrogate.Stat{Value: 5, Lo: 2, Hi: 8}, true
+	default:
+		return surrogate.Stat{Value: 50, Lo: 30, Hi: 70}, true
+	}
+}
+
+// TestSurrogateBudget pins the budget semantics on width-forced exact
+// runs: unlimited budget refines a too-wide prediction to exact, while
+// budget zero suppresses refinement and lets the wide (but lawful)
+// prediction stand with its bars printed.
+func TestSurrogateBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a site of tiny simulations")
+	}
+	resolve := func(budget int) pointEst {
+		c := newSurCtx(t, t.TempDir(), io.Discard)
+		c.EnableSurrogate(SurrogateConfig{Budget: budget})
+		c.sur.testPredict = widePredictor
+		tally := &surTally{}
+		est, err := c.resolveSite(tally, workload.Drupal, 0,
+			[]string{"baseline", "twig"}, groupGate{metric: "ipc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est["twig"]
+	}
+	if e := resolve(-1); e.Prov != "exact" {
+		t.Errorf("unlimited budget left a too-wide prediction standing: %+v", e)
+	}
+	if e := resolve(0); e.Prov != "predicted" {
+		t.Errorf("zero budget still width-forced an exact run: %+v", e)
+	} else if e.IPC.RelWidth() <= 0.05 {
+		t.Errorf("test predictor unexpectedly tight: %v", e.IPC)
+	}
+}

@@ -2,9 +2,12 @@ package runner
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -241,6 +244,89 @@ func (c *Cache) memPut(hash string, v any) {
 		c.lru.Remove(oldest)
 		delete(c.mem, oldest.Value.(memEntry).hash)
 	}
+}
+
+// Peek returns the decoded payload for hash when it is already present
+// in the memory or disk tier. Unlike Get it is entirely side-effect
+// free: no statistics are counted, no LRU promotion happens, corrupt or
+// stale disk entries are left in place (reported as misses), and the
+// remote tier is never consulted. The surrogate trainer uses it to
+// enumerate a candidate grid against the cache without perturbing the
+// hit/miss counters the smoke tests assert on.
+func (c *Cache) Peek(hash string, codec Codec) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.mem[hash]
+	c.mu.Unlock()
+	if ok {
+		return el.Value.(memEntry).val, true
+	}
+	if c.dir == "" || len(hash) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	v, err := decodeEntry(data, hash, codec)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// WalkEntry describes one on-disk cache envelope seen by Walk.
+type WalkEntry struct {
+	// Hash is the entry's content hash (from the envelope when it
+	// decodes, from the filename otherwise).
+	Hash string
+	// Codec names the payload type ("result", "profile", ...); empty
+	// for undecodable entries.
+	Codec string
+	// Sim is the simulator version the entry was written under; Stale
+	// marks a format or simulator generation mismatch with this binary.
+	Sim   string
+	Stale bool
+	// Bytes is the envelope file size.
+	Bytes int64
+	// Err is non-nil for entries whose envelope frame does not parse.
+	Err error
+}
+
+// Walk enumerates every envelope in the disk tier in deterministic
+// (lexical path) order, calling fn once per entry; a non-nil return
+// from fn stops the walk and is returned. Only the envelope frame is
+// decoded — payloads are not validated — so walking a large cache is
+// cheap. A memory-only cache walks nothing.
+func (c *Cache) Walk(fn func(WalkEntry) error) error {
+	if c.dir == "" {
+		return nil
+	}
+	return filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		e := WalkEntry{Hash: strings.TrimSuffix(filepath.Base(path), ".json")}
+		if info, ierr := d.Info(); ierr == nil {
+			e.Bytes = info.Size()
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			e.Err = rerr
+			return fn(e)
+		}
+		var env envelope
+		if jerr := json.Unmarshal(data, &env); jerr != nil {
+			e.Err = fmt.Errorf("corrupt envelope: %w", jerr)
+			return fn(e)
+		}
+		if env.Hash != "" {
+			e.Hash = env.Hash
+		}
+		e.Codec = env.Codec
+		e.Sim = env.Sim
+		e.Stale = env.Format != FormatVersion || env.Sim != SimVersion
+		return fn(e)
+	})
 }
 
 // MemLen returns the number of entries in the memory tier.

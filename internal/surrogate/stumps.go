@@ -1,0 +1,126 @@
+package surrogate
+
+import "sort"
+
+// booster is a gradient-boosted ensemble of depth-1 regression trees
+// (stumps) under squared loss: each round fits one stump to the current
+// residuals and adds it with the configured shrinkage. Stumps handle
+// the mixed discrete/continuous feature space (log-scaled structure
+// sizes, probabilities, booleans) without any scaling or encoding, and
+// fitting is exactly deterministic — ties in split quality resolve to
+// the lowest feature index, then the lowest threshold.
+type booster struct {
+	mean   float64
+	stumps []stump
+}
+
+// stump is one axis-aligned split: x[feature] <= threshold goes left.
+type stump struct {
+	feature     int
+	threshold   float64
+	left, right float64
+}
+
+func (s stump) predict(x []float64) float64 {
+	if x[s.feature] <= s.threshold {
+		return s.left
+	}
+	return s.right
+}
+
+func (b *booster) predict(x []float64) float64 {
+	y := b.mean
+	for _, s := range b.stumps {
+		y += s.predict(x)
+	}
+	return y
+}
+
+// fitBooster trains on the samples. Residuals start from the global
+// mean; each round's stump minimizes the squared error of the current
+// residuals, its leaf contributions damped by the shrinkage. Rounds
+// stop early once no split reduces the error (all residuals constant
+// per reachable partition — further rounds would add zero stumps).
+func fitBooster(samples []sample, rounds int, shrinkage float64) *booster {
+	b := &booster{}
+	if len(samples) == 0 {
+		return b
+	}
+	for _, s := range samples {
+		b.mean += s.y
+	}
+	b.mean /= float64(len(samples))
+	res := make([]float64, len(samples))
+	for i, s := range samples {
+		res[i] = s.y - b.mean
+	}
+	dim := len(samples[0].x)
+	for r := 0; r < rounds; r++ {
+		st, ok := bestStump(samples, res, dim)
+		if !ok {
+			break
+		}
+		st.left *= shrinkage
+		st.right *= shrinkage
+		b.stumps = append(b.stumps, st)
+		for i, s := range samples {
+			res[i] -= st.predict(s.x)
+		}
+	}
+	return b
+}
+
+// bestStump scans every feature and every midpoint between adjacent
+// distinct values for the split minimizing residual SSE. ok is false
+// when no split strictly improves on the no-split error.
+func bestStump(samples []sample, res []float64, dim int) (stump, bool) {
+	var total, totalSq float64
+	for _, r := range res {
+		total += r
+		totalSq += r * r
+	}
+	n := float64(len(samples))
+	baseErr := totalSq - total*total/n
+
+	best := stump{}
+	bestErr := baseErr
+	found := false
+	order := make([]int, len(samples))
+	for f := 0; f < dim; f++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return samples[order[a]].x[f] < samples[order[b]].x[f]
+		})
+		var leftSum, leftSq float64
+		leftN := 0.0
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftSum += res[i]
+			leftSq += res[i] * res[i]
+			leftN++
+			v, next := samples[i].x[f], samples[order[k+1]].x[f]
+			if v == next {
+				continue
+			}
+			rightSum := total - leftSum
+			rightSq := totalSq - leftSq
+			rightN := n - leftN
+			err := (leftSq - leftSum*leftSum/leftN) + (rightSq - rightSum*rightSum/rightN)
+			// Strict improvement with a relative epsilon so float noise
+			// never manufactures an endless stream of zero-value stumps.
+			if err < bestErr-1e-12*(1+baseErr) {
+				bestErr = err
+				best = stump{
+					feature:   f,
+					threshold: v + (next-v)/2,
+					left:      leftSum / leftN,
+					right:     rightSum / rightN,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}

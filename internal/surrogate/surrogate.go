@@ -1,0 +1,378 @@
+// Package surrogate is a cheap, pure-Go predictor for simulation
+// metrics (IPC, MPKI, coverage, prefetch accuracy) over the sweep
+// configuration space, trained for free on results the runner's
+// content-addressed cache already holds.
+//
+// A Model combines three prediction paths, tried in order:
+//
+//  1. exact table lookup — a training sample with an identical feature
+//     vector is the deterministic simulator's own answer;
+//  2. local 1-D linear interpolation — when the query differs from
+//     training samples along exactly one coordinate and is bracketed on
+//     that axis (the structured config sweeps: BTB size, associativity,
+//     buffer depth, distance, mask width, FTQ depth);
+//  3. gradient-boosted regression stumps — the irregular remainder
+//     (cross-application, cross-input generalization).
+//
+// Every prediction carries a two-sided conformal interval calibrated by
+// deterministic k-fold cross-validation on the training set: with n
+// held-out absolute residuals, the interval half-width at confidence
+// 1-α is the ⌈(n+1)(1-α)⌉-th smallest residual. The experiments-level
+// calibration test (internal/experiments) asserts the stated intervals
+// contain exactly simulated values at no worse than double the nominal
+// miss rate, mirroring the interval-sampling CI-containment harness.
+//
+// Everything is deterministic: fitting iterates samples in insertion
+// order, folds are assigned round-robin over a canonical sort, and no
+// map iteration or randomness is involved, so the same training set
+// always yields the same model and the same predictions.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stat is a point prediction with a two-sided conformal interval.
+// Exact (non-predicted) values are represented degenerately with
+// Lo = Hi = Value.
+type Stat struct {
+	Value, Lo, Hi float64
+}
+
+// Exact wraps a known value as a degenerate Stat.
+func Exact(v float64) Stat { return Stat{Value: v, Lo: v, Hi: v} }
+
+// Contains reports whether v lies within [Lo, Hi].
+func (s Stat) Contains(v float64) bool { return v >= s.Lo && v <= s.Hi }
+
+// Width returns Hi - Lo.
+func (s Stat) Width() float64 { return s.Hi - s.Lo }
+
+// RelWidth returns the interval half-width relative to the estimate's
+// magnitude (floored at 1 so near-zero metrics don't report infinite
+// relative uncertainty).
+func (s Stat) RelWidth() float64 {
+	return s.Width() / 2 / math.Max(math.Abs(s.Value), 1)
+}
+
+// Predicted reports whether the stat carries a non-degenerate interval
+// (i.e. came from the surrogate rather than an exact simulation).
+func (s Stat) Predicted() bool { return s.Lo != s.Hi }
+
+// sample is one training observation.
+type sample struct {
+	x []float64
+	y float64
+}
+
+// Dataset accumulates training samples of a fixed feature
+// dimensionality.
+type Dataset struct {
+	dim     int
+	samples []sample
+}
+
+// NewDataset returns an empty dataset over dim-dimensional features.
+func NewDataset(dim int) *Dataset { return &Dataset{dim: dim} }
+
+// Add appends one observation; x is copied.
+func (d *Dataset) Add(x []float64, y float64) error {
+	if len(x) != d.dim {
+		return fmt.Errorf("surrogate: sample has %d features, dataset wants %d", len(x), d.dim)
+	}
+	cx := make([]float64, len(x))
+	copy(cx, x)
+	d.samples = append(d.samples, sample{x: cx, y: y})
+	return nil
+}
+
+// Clone returns an independent copy of the dataset: the active-learning
+// axis sweeps extend a local clone with their freshly simulated seed
+// points without mutating the shared training set other figures read.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{dim: d.dim, samples: make([]sample, len(d.samples))}
+	copy(c.samples, d.samples)
+	return c
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.samples) }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int { return d.dim }
+
+// Config tunes fitting; zero values mean the defaults below.
+type Config struct {
+	// Rounds is the number of boosting rounds (default 150).
+	Rounds int
+	// Shrinkage is the boosting learning rate (default 0.1).
+	Shrinkage float64
+	// MinSamples is the smallest training set Fit accepts (default 8):
+	// below it neither the stumps nor the conformal quantile mean
+	// anything.
+	MinSamples int
+	// Confidence is the two-sided conformal interval level (default
+	// 0.9).
+	Confidence float64
+	// Folds is the cross-conformal fold count (default 5, clamped to
+	// the sample count).
+	Folds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 150
+	}
+	if c.Shrinkage <= 0 {
+		c.Shrinkage = 0.1
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.Confidence <= 0 {
+		c.Confidence = 0.9
+	}
+	if c.Folds <= 0 {
+		c.Folds = 5
+	}
+	return c
+}
+
+// Model is a fitted predictor. It retains its training set for the
+// table-lookup and interpolation paths and for the Hull no-extrapolation
+// test.
+type Model struct {
+	cfg     Config
+	dim     int
+	samples []sample
+	boost   *booster
+	// quantile is the cross-conformal half-width for boosted
+	// predictions; interpQuantile the (usually tighter) one for the
+	// interpolation path, falling back to quantile when too few
+	// interpolable held-out points existed.
+	quantile       float64
+	interpQuantile float64
+	lo, hi         []float64 // per-coordinate training range (the hull)
+}
+
+// Fit trains a model on the dataset. It fails when the dataset is
+// smaller than Config.MinSamples.
+func Fit(d *Dataset, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if d.Len() < cfg.MinSamples {
+		return nil, fmt.Errorf("surrogate: %d samples, need at least %d", d.Len(), cfg.MinSamples)
+	}
+	m := &Model{cfg: cfg, dim: d.dim, samples: d.samples}
+	m.computeHull()
+	m.calibrate()
+	m.boost = fitBooster(m.samples, cfg.Rounds, cfg.Shrinkage)
+	return m, nil
+}
+
+// Len returns the training-set size.
+func (m *Model) Len() int { return len(m.samples) }
+
+func (m *Model) computeHull() {
+	m.lo = make([]float64, m.dim)
+	m.hi = make([]float64, m.dim)
+	for j := 0; j < m.dim; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range m.samples {
+			lo = math.Min(lo, s.x[j])
+			hi = math.Max(hi, s.x[j])
+		}
+		m.lo[j], m.hi[j] = lo, hi
+	}
+}
+
+// InHull reports whether the query's coordinates listed in axes all lie
+// within the training set's per-coordinate range. The active-learning
+// driver refuses to extrapolate along structured configuration axes: a
+// query outside the hull on such an axis is forced to exact simulation
+// instead of predicted.
+func (m *Model) InHull(x []float64, axes []int) bool {
+	for _, j := range axes {
+		if j < 0 || j >= m.dim {
+			return false
+		}
+		if x[j] < m.lo[j] || x[j] > m.hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// calibrate computes the cross-conformal residual quantiles: samples
+// are sorted canonically, dealt round-robin into folds (so replicated
+// structure — the same app at several inputs — spreads across folds
+// rather than being held out wholesale), and each fold is predicted by
+// a booster fitted on the others. The interpolation path gets its own
+// quantile from the held-out points that were interpolable.
+func (m *Model) calibrate() {
+	idx := make([]int, len(m.samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return lessVec(m.samples[idx[a]].x, m.samples[idx[b]].x)
+	})
+	k := m.cfg.Folds
+	if k > len(m.samples) {
+		k = len(m.samples)
+	}
+	fold := make([]int, len(m.samples)) // sample index -> fold
+	for r, i := range idx {
+		fold[i] = r % k
+	}
+	var scores, interpScores []float64
+	for f := 0; f < k; f++ {
+		var train, held []sample
+		for i, s := range m.samples {
+			if fold[i] == f {
+				held = append(held, s)
+			} else {
+				train = append(train, s)
+			}
+		}
+		if len(train) == 0 {
+			continue
+		}
+		b := fitBooster(train, m.cfg.Rounds, m.cfg.Shrinkage)
+		for _, s := range held {
+			scores = append(scores, math.Abs(b.predict(s.x)-s.y))
+			if y, ok := interpolate(train, s.x); ok {
+				interpScores = append(interpScores, math.Abs(y-s.y))
+			}
+		}
+	}
+	m.quantile = conformalQuantile(scores, m.cfg.Confidence)
+	if len(interpScores) >= 5 {
+		m.interpQuantile = conformalQuantile(interpScores, m.cfg.Confidence)
+	} else {
+		m.interpQuantile = m.quantile
+	}
+}
+
+// conformalQuantile returns the ⌈(n+1)·conf⌉-th smallest score (the
+// standard split-conformal quantile), clamped to the largest score when
+// the index runs off the end.
+func conformalQuantile(scores []float64, conf float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	sort.Float64s(scores)
+	r := int(math.Ceil(float64(len(scores)+1) * conf))
+	if r > len(scores) {
+		r = len(scores)
+	}
+	if r < 1 {
+		r = 1
+	}
+	return scores[r-1]
+}
+
+// Predict returns the model's estimate for x with its conformal
+// interval. The paths, in order: exact table match (degenerate
+// interval — the simulator is deterministic, so a matching training
+// sample is the answer), bracketed single-axis linear interpolation,
+// then the boosted stumps.
+func (m *Model) Predict(x []float64) Stat {
+	if len(x) != m.dim {
+		return Stat{}
+	}
+	for _, s := range m.samples {
+		if eqVec(s.x, x) {
+			return Exact(s.y)
+		}
+	}
+	if y, ok := interpolate(m.samples, x); ok {
+		return Stat{Value: y, Lo: y - m.interpQuantile, Hi: y + m.interpQuantile}
+	}
+	y := m.boost.predict(x)
+	return Stat{Value: y, Lo: y - m.quantile, Hi: y + m.quantile}
+}
+
+// interpolate attempts the local-table path: when every sample that is
+// nearest to x differs from it along exactly one shared coordinate and
+// x is bracketed on that axis, linearly interpolate between the two
+// nearest bracketing neighbors.
+func interpolate(samples []sample, x []float64) (float64, bool) {
+	axis := -1
+	type nb struct {
+		pos float64
+		y   float64
+	}
+	var below, above *nb
+	for _, s := range samples {
+		j, ok := soleDiffAxis(s.x, x)
+		if !ok {
+			continue
+		}
+		if axis == -1 {
+			axis = j
+		} else if axis != j {
+			// Neighbors disagree about the varying axis: the query is not
+			// on a clean 1-D sweep line through the table.
+			return 0, false
+		}
+		n := nb{pos: s.x[j], y: s.y}
+		if n.pos < x[j] {
+			if below == nil || n.pos > below.pos {
+				v := n
+				below = &v
+			}
+		} else {
+			if above == nil || n.pos < above.pos {
+				v := n
+				above = &v
+			}
+		}
+	}
+	if below == nil || above == nil {
+		return 0, false
+	}
+	span := above.pos - below.pos
+	if span <= 0 {
+		return 0, false
+	}
+	t := (x[axis] - below.pos) / span
+	return below.y + t*(above.y-below.y), true
+}
+
+// soleDiffAxis returns the single coordinate where a and b differ, or
+// ok=false when they differ in zero or several coordinates.
+func soleDiffAxis(a, b []float64) (int, bool) {
+	axis := -1
+	for j := range a {
+		if a[j] != b[j] {
+			if axis != -1 {
+				return -1, false
+			}
+			axis = j
+		}
+	}
+	if axis == -1 {
+		return -1, false
+	}
+	return axis, true
+}
+
+func eqVec(a, b []float64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessVec(a, b []float64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package surrogate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// det is a small deterministic pseudo-random stream for building
+// synthetic training sets (no math/rand: the tests pin exact behavior).
+type det struct{ s uint64 }
+
+func (d *det) next() float64 {
+	d.s = d.s*6364136223846793005 + 1442695040888963407
+	return float64(d.s>>11) / float64(1<<53)
+}
+
+func TestDatasetAddChecksDim(t *testing.T) {
+	d := NewDataset(3)
+	if err := d.Add([]float64{1, 2, 3}, 1); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := d.Add([]float64{1, 2}, 1); err == nil {
+		t.Fatal("Add accepted a short vector")
+	}
+	if d.Len() != 1 || d.Dim() != 3 {
+		t.Fatalf("Len/Dim = %d/%d, want 1/3", d.Len(), d.Dim())
+	}
+}
+
+func TestFitRejectsTinyDatasets(t *testing.T) {
+	d := NewDataset(1)
+	for i := 0; i < 5; i++ {
+		d.Add([]float64{float64(i)}, float64(i))
+	}
+	if _, err := Fit(d, Config{MinSamples: 8}); err == nil {
+		t.Fatal("Fit accepted 5 samples with MinSamples 8")
+	}
+}
+
+// An exact feature match must return the training value with a
+// degenerate interval: the simulator is deterministic, so the table
+// entry is the answer.
+func TestPredictExactMatch(t *testing.T) {
+	d := NewDataset(2)
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i), float64(i % 3)}, 7*float64(i))
+	}
+	m, err := Fit(d, Config{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	st := m.Predict([]float64{4, 1})
+	if st.Value != 28 || st.Lo != 28 || st.Hi != 28 {
+		t.Fatalf("exact match = %+v, want degenerate 28", st)
+	}
+	if st.Predicted() {
+		t.Fatal("exact match reported as predicted")
+	}
+}
+
+// A query bracketed along a single axis interpolates linearly between
+// its nearest neighbors.
+func TestPredictInterpolates(t *testing.T) {
+	d := NewDataset(2)
+	for _, x := range []float64{1, 2, 4, 8, 16, 32, 64, 128} {
+		d.Add([]float64{x, 5}, 10*x) // linear in x at fixed second coord
+	}
+	m, err := Fit(d, Config{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	st := m.Predict([]float64{12, 5})
+	if math.Abs(st.Value-120) > 1e-9 {
+		t.Fatalf("interpolated value %v, want 120", st.Value)
+	}
+	if !st.Contains(120) {
+		t.Fatalf("interval %+v does not contain the true value", st)
+	}
+}
+
+// Boosted stumps must recover a piecewise structure well enough that
+// conformal intervals stay informative, and predictions must be within
+// the stated interval for in-distribution queries at the nominal rate.
+func TestConformalCalibrationSynthetic(t *testing.T) {
+	f := func(x []float64) float64 {
+		v := 2 * x[0]
+		if x[1] > 0.5 {
+			v += 10
+		}
+		return v + 0.5*x[2]
+	}
+	rnd := &det{s: 12345}
+	d := NewDataset(3)
+	for i := 0; i < 120; i++ {
+		x := []float64{rnd.next() * 10, rnd.next(), rnd.next() * 4}
+		d.Add(x, f(x))
+	}
+	m, err := Fit(d, Config{Confidence: 0.9})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	checks, misses := 0, 0
+	for i := 0; i < 200; i++ {
+		x := []float64{rnd.next() * 10, rnd.next(), rnd.next() * 4}
+		st := m.Predict(x)
+		checks++
+		if !st.Contains(f(x)) {
+			misses++
+		}
+	}
+	// Deterministic regression gate mirroring the sampling calibration
+	// harness: miss rate must stay within double the nominal 10%.
+	if allowed := checks / 5; misses > allowed {
+		t.Fatalf("%d/%d predictions outside their 90%% interval (allow %d)", misses, checks, allowed)
+	}
+}
+
+// The same dataset must always produce the same model and predictions.
+func TestFitDeterministic(t *testing.T) {
+	build := func() *Model {
+		rnd := &det{s: 99}
+		d := NewDataset(4)
+		for i := 0; i < 60; i++ {
+			x := []float64{rnd.next(), rnd.next() * 3, float64(i % 5), rnd.next()}
+			d.Add(x, x[0]*3+x[2])
+		}
+		m, err := Fit(d, Config{})
+		if err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	rnd := &det{s: 7}
+	for i := 0; i < 50; i++ {
+		x := []float64{rnd.next(), rnd.next() * 3, rnd.next() * 5, rnd.next()}
+		sa, sb := a.Predict(x), b.Predict(x)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("prediction %d differs across identical fits: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+// InHull refuses extrapolation along the listed axes only.
+func TestInHull(t *testing.T) {
+	d := NewDataset(2)
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i), 100}, float64(i))
+	}
+	m, err := Fit(d, Config{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if !m.InHull([]float64{5, 999}, []int{0}) {
+		t.Fatal("in-range coordinate rejected")
+	}
+	if m.InHull([]float64{20, 100}, []int{0}) {
+		t.Fatal("out-of-range coordinate accepted")
+	}
+	if !m.InHull([]float64{20, 100}, nil) {
+		t.Fatal("empty axis list must always pass")
+	}
+	if m.InHull([]float64{5, 100}, []int{7}) {
+		t.Fatal("out-of-range axis index accepted")
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	s := Stat{Value: 10, Lo: 8, Hi: 14}
+	if !s.Contains(8) || !s.Contains(14) || s.Contains(7.9) {
+		t.Fatalf("Contains misbehaves: %+v", s)
+	}
+	if s.Width() != 6 {
+		t.Fatalf("Width = %v, want 6", s.Width())
+	}
+	if got := s.RelWidth(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("RelWidth = %v, want 0.3", got)
+	}
+	if !s.Predicted() {
+		t.Fatal("non-degenerate stat not Predicted")
+	}
+	if Exact(5).Predicted() {
+		t.Fatal("Exact stat reported Predicted")
+	}
+	// Near-zero values floor the relative denominator at 1.
+	z := Stat{Value: 0.001, Lo: -0.1, Hi: 0.1}
+	if got := z.RelWidth(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelWidth near zero = %v, want 0.1", got)
+	}
+}
+
+// A constant target yields zero-width intervals that still contain the
+// value (the baseline scheme's accuracy column is exactly this).
+func TestConstantTarget(t *testing.T) {
+	d := NewDataset(2)
+	for i := 0; i < 12; i++ {
+		d.Add([]float64{float64(i), float64(i * i)}, 0)
+	}
+	m, err := Fit(d, Config{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	st := m.Predict([]float64{3.5, 2})
+	if st.Value != 0 || !st.Contains(0) {
+		t.Fatalf("constant-target prediction %+v, want exactly 0", st)
+	}
+}
+
+func TestConformalQuantile(t *testing.T) {
+	scores := []float64{5, 1, 3, 2, 4}
+	// n=5, conf=0.5 -> ceil(6*0.5)=3rd smallest = 3.
+	if q := conformalQuantile(append([]float64(nil), scores...), 0.5); q != 3 {
+		t.Fatalf("quantile(0.5) = %v, want 3", q)
+	}
+	// High confidence clamps to the max score.
+	if q := conformalQuantile(append([]float64(nil), scores...), 0.999); q != 5 {
+		t.Fatalf("quantile(0.999) = %v, want 5", q)
+	}
+	if q := conformalQuantile(nil, 0.9); q != 0 {
+		t.Fatalf("quantile(empty) = %v, want 0", q)
+	}
+}
